@@ -1,0 +1,1 @@
+"""Benchmark harness: one module per EXPERIMENTS.md experiment (E1-E13)."""

@@ -1,0 +1,80 @@
+"""E9 — the Õ_ε(1) candidate-count formula of §3.1.
+
+The paper bounds the expected number of candidate substrings per block by
+``[1 + log_(1+ε')n · (1 + B·(8/ε'B)·log n)(1/ε')](1/ε') = Õ_ε(1)`` —
+constant in ``n`` (up to polylog), polynomial in ``1/ε``.  This bench
+measures the per-block candidate counts of Algorithm 1 across an
+``n``-ladder and an ``ε``-ladder and fits the growth in each direction.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_power_law, format_table
+from repro.params import UlamParams
+from repro.ulam import UlamConfig, make_block_payload, run_block_machine
+from repro.workloads.permutations import planted_pair
+
+from .conftest import run_once
+
+X = 0.4
+
+
+def _count_for(n, eps, seed=0):
+    s, t, _ = planted_pair(n, n // 8, seed=seed, style="mixed")
+    params = UlamParams(n=n, x=X, eps=eps)
+    cfg = UlamConfig.paper()  # no caps: measure the raw construction
+    pos_t = {int(v): i for i, v in enumerate(t.tolist())}
+    counts = []
+    B = params.block_size
+    for lo in range(0, n, B):
+        hi = min(lo + B, n)
+        positions = np.array([pos_t.get(int(v), -1) for v in s[lo:hi]],
+                             dtype=np.int64)
+        payload = make_block_payload(lo, hi, positions, n,
+                                     params.eps_prime, params.u_guesses(),
+                                     params.hitting_rate, seed, cfg)
+        counts.append(len(run_block_machine(payload)))
+    return float(np.mean(counts))
+
+
+def _run():
+    n_rows = [{"n": n, "eps": 1.0,
+               "candidates_per_block": _count_for(n, 1.0)}
+              for n in (128, 256, 512)]
+    eps_rows = [{"n": 256, "eps": e,
+                 "candidates_per_block": _count_for(256, e)}
+                for e in (2.0, 1.0, 0.5)]
+    return n_rows, eps_rows
+
+
+def bench_candidate_counts(benchmark, report):
+    n_rows, eps_rows = run_once(benchmark, _run)
+    n_fit = fit_power_law([r["n"] for r in n_rows],
+                          [r["candidates_per_block"] for r in n_rows])
+    eps_fit = fit_power_law([1 / r["eps"] for r in eps_rows],
+                            [r["candidates_per_block"] for r in eps_rows])
+    lines = [
+        "Candidate substrings per block (§3.1: Õ_ε(1) — constant in n,"
+        " poly(1/ε))",
+        "",
+        "n-ladder (eps = 1.0):",
+        format_table(["n", "candidates_per_block"],
+                     [[r["n"], r["candidates_per_block"]]
+                      for r in n_rows]),
+        "",
+        "eps-ladder (n = 256):",
+        format_table(["eps", "candidates_per_block"],
+                     [[r["eps"], r["candidates_per_block"]]
+                      for r in eps_rows]),
+        "",
+        f"growth in n      ~ n^{n_fit.exponent:.2f}"
+        "  (paper: n^0 up to polylog)",
+        f"growth in 1/eps  ~ (1/eps)^{eps_fit.exponent:.2f}"
+        "  (paper: polynomial, up to (1/eps)^4·log n)",
+    ]
+    report("E9_candidate_counts", "\n".join(lines))
+
+    # constant-in-n up to polylog: exponent well below any polynomial
+    assert n_fit.exponent < 0.5
+    # strongly increasing in 1/eps
+    assert eps_fit.exponent > 0.5

@@ -1,0 +1,86 @@
+"""E7 — Lemma 3: candidate quality and the w.h.p. guarantee.
+
+Lemma 3 promises that, with high probability over the hitting-set coins,
+every block gets an approximately-optimal candidate.  Two measurements:
+
+* **per-block optimality** — for every block, the best candidate distance
+  equals the block's true local optimum (`lulam`); and
+* **end-to-end success rate** — across many independent seeds, the final
+  answer stays within ``1+ε`` of the exact distance (the "w.h.p." of
+  Theorem 4 made empirical).
+"""
+
+from repro import UlamConfig, mpc_ulam
+from repro.analysis import format_table
+from repro.strings import local_ulam, ulam_distance
+from repro.workloads.permutations import block_shuffled_pair, planted_pair
+
+from .conftest import run_once
+
+N = 256
+X = 0.4
+EPS = 0.5
+SEEDS = 12
+
+
+def _run():
+    # per-block candidate optimality on one instance
+    s, t, _ = planted_pair(N, N // 16, seed=99, style="mixed")
+    res = mpc_ulam(s, t, x=X, eps=EPS, seed=0, keep_tuples=True,
+                   config=UlamConfig.default())
+    B = res.params.block_size
+    per_block = []
+    for lo in range(0, N, B):
+        hi = min(lo + B, N)
+        mine = [d for (l, h, sp, ep, d) in res.tuples if l == lo]
+        _, _, d_star = local_ulam(s[lo:hi], t)
+        per_block.append({"block": lo // B, "n_tuples": len(mine),
+                          "best_candidate": min(mine),
+                          "lulam_optimum": d_star,
+                          "optimal": min(mine) == d_star})
+
+    # seed sweep: success probability of the end-to-end guarantee
+    workloads = {
+        "planted_moves": planted_pair(N, N // 8, seed=1, style="moves")[:2],
+        "planted_swaps": planted_pair(N, N // 8, seed=2, style="swaps")[:2],
+        "shuffled": block_shuffled_pair(N, 8, seed=3),
+    }
+    sweep = []
+    for name, (ws, wt) in workloads.items():
+        exact = ulam_distance(ws, wt)
+        ok = 0
+        worst = 0.0
+        for seed in range(SEEDS):
+            out = mpc_ulam(ws, wt, x=X, eps=EPS, seed=seed,
+                           config=UlamConfig.default())
+            ratio = out.distance / max(exact, 1)
+            worst = max(worst, ratio)
+            ok += ratio <= 1 + EPS
+        sweep.append({"workload": name, "exact": exact,
+                      "success": f"{ok}/{SEEDS}", "worst_ratio": worst})
+    return per_block, sweep
+
+
+def bench_candidate_quality(benchmark, report):
+    per_block, sweep = run_once(benchmark, _run)
+    lines = [
+        "Lemma 3 candidate quality (per block) and Theorem 4 w.h.p."
+        " success rate",
+        "",
+        format_table(
+            ["block", "n_tuples", "best_candidate", "lulam_optimum",
+             "optimal"],
+            [[r[k] for k in ("block", "n_tuples", "best_candidate",
+                             "lulam_optimum", "optimal")]
+             for r in per_block]),
+        "",
+        f"seed sweep ({SEEDS} seeds per workload):",
+        format_table(
+            ["workload", "exact", "success", "worst_ratio"],
+            [[r[k] for k in ("workload", "exact", "success",
+                             "worst_ratio")] for r in sweep]),
+    ]
+    report("E7_candidate_quality", "\n".join(lines))
+
+    assert all(r["optimal"] for r in per_block)
+    assert all(r["worst_ratio"] <= 1 + EPS for r in sweep)

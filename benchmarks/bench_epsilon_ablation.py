@@ -1,0 +1,81 @@
+"""E10 — the ε tradeoff: accuracy vs work for both algorithms.
+
+Both theorems trade the approximation factor against poly(1/ε) factors in
+work, candidates, and communication.  This bench sweeps ε and records
+measured ratio (must stay within the guarantee at *every* ε) alongside
+total work, confirming:
+
+* ratios never exceed ``1+ε`` (Ulam) / ``3+ε`` (edit distance), and
+* work grows as ε shrinks.
+
+It also validates the default ``ε' = ε/4`` bookkeeping of the
+edit-distance driver against the paper's ``ε/22`` (the measured ratios
+must be within ``3+ε`` for both; see EditConfig.eps_prime_divisor).
+"""
+
+from repro import EditConfig, UlamConfig, mpc_edit_distance, mpc_ulam
+from repro.analysis import format_table
+from repro.strings import levenshtein, ulam_distance
+from repro.workloads.permutations import planted_pair as perm_pair
+from repro.workloads.strings import planted_pair as str_pair
+
+from .conftest import run_once
+
+N = 256
+
+
+def _run():
+    ulam_rows = []
+    s, t, _ = perm_pair(N, N // 8, seed=77, style="mixed")
+    exact_u = ulam_distance(s, t)
+    for eps in (2.0, 1.0, 0.5):
+        res = mpc_ulam(s, t, x=0.4, eps=eps, seed=1,
+                       config=UlamConfig.default())
+        ulam_rows.append({"eps": eps, "exact": exact_u,
+                          "mpc": res.distance,
+                          "ratio": res.distance / max(exact_u, 1),
+                          "bound": 1 + eps,
+                          "work": res.stats.total_work,
+                          "tuples": res.n_tuples})
+
+    edit_rows = []
+    es, et, _ = str_pair(N, N // 8, sigma=4, seed=78)
+    exact_e = levenshtein(es, et)
+    for eps in (2.0, 1.0, 0.5):
+        for divisor, label in ((4.0, "eps/4"), (22.0, "eps/22")):
+            res = mpc_edit_distance(
+                es, et, x=0.29, eps=eps, seed=1,
+                config=EditConfig(eps_prime_divisor=divisor))
+            edit_rows.append({"eps": eps, "eps_prime": label,
+                              "exact": exact_e, "mpc": res.distance,
+                              "ratio": res.distance / max(exact_e, 1),
+                              "bound": 3 + eps,
+                              "work": res.stats.total_work})
+    return ulam_rows, edit_rows
+
+
+def bench_epsilon_ablation(benchmark, report):
+    ulam_rows, edit_rows = run_once(benchmark, _run)
+    lines = [
+        "Epsilon ablation: guarantee vs work",
+        "",
+        "Ulam (Theorem 4, bound 1+eps):",
+        format_table(
+            ["eps", "exact", "mpc", "ratio", "bound", "work", "tuples"],
+            [[r[k] for k in ("eps", "exact", "mpc", "ratio", "bound",
+                             "work", "tuples")] for r in ulam_rows]),
+        "",
+        "Edit distance (Theorem 9, bound 3+eps; eps' divisor ablation):",
+        format_table(
+            ["eps", "eps_prime", "exact", "mpc", "ratio", "bound",
+             "work"],
+            [[r[k] for k in ("eps", "eps_prime", "exact", "mpc", "ratio",
+                             "bound", "work")] for r in edit_rows]),
+    ]
+    report("E10_epsilon_ablation", "\n".join(lines))
+
+    assert all(r["ratio"] <= r["bound"] for r in ulam_rows)
+    assert all(r["ratio"] <= r["bound"] for r in edit_rows)
+    # work increases as eps decreases (Ulam side, strict ladder)
+    works = [r["work"] for r in ulam_rows]
+    assert works == sorted(works)

@@ -1,0 +1,60 @@
+"""E15 — the LCS extension (dual problem; HSS'19-style additive regime).
+
+Not a paper artifact: this validates the repository's
+``repro.extensions.mpc_lcs`` extension — 2 rounds, certified lower bound,
+additive ``O(ε·n)`` error — across workloads and an ``n``-ladder.
+"""
+
+from repro.analysis import format_table
+from repro.extensions import mpc_lcs
+from repro.strings import lcs_length
+from repro.workloads.strings import planted_pair, random_string
+
+from .conftest import run_once
+
+X = 0.29
+EPS = 0.25
+
+
+def _run():
+    rows = []
+    for n in (128, 256, 512):
+        for label, maker in {
+            "identical": lambda: (random_string(n, 4, seed=n),) * 2,
+            "planted": lambda: planted_pair(n, n // 16, sigma=4,
+                                            seed=n)[:2],
+            "random": lambda: (random_string(n, 4, seed=1),
+                               random_string(n, 4, seed=2)),
+        }.items():
+            s, t = maker()
+            res = mpc_lcs(s, t, x=X, eps=EPS)
+            exact = lcs_length(s, t)
+            rows.append({
+                "n": n, "workload": label, "exact": exact,
+                "mpc": res.lcs, "additive_gap": exact - res.lcs,
+                "eps_n": EPS * n, "rounds": res.stats.n_rounds,
+                "machines": res.stats.max_machines,
+            })
+    return rows
+
+
+def bench_lcs_extension(benchmark, report):
+    rows = run_once(benchmark, _run)
+    lines = [
+        "LCS extension: certified lower bound, additive O(eps·n) error,"
+        " 2 rounds",
+        f"x = {X}, eps = {EPS}",
+        "",
+        format_table(
+            ["n", "workload", "exact", "mpc", "additive_gap", "eps_n",
+             "rounds", "machines"],
+            [[r[k] for k in ("n", "workload", "exact", "mpc",
+                             "additive_gap", "eps_n", "rounds",
+                             "machines")] for r in rows]),
+    ]
+    report("E15_lcs_extension", "\n".join(lines))
+
+    for r in rows:
+        assert r["mpc"] <= r["exact"]                   # lower bound
+        assert r["additive_gap"] <= 2 * r["eps_n"]      # additive error
+        assert r["rounds"] == 2

@@ -1,0 +1,61 @@
+"""E17 — the LIS extension (Ulam's dual; cf. Im–Moseley–Sun in §1).
+
+Validates ``repro.extensions.mpc_lis``: certified lower bound, additive
+``≤ 2ε·n`` error, 2 rounds, across structure classes and an ``n``-ladder.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.extensions import mpc_lis
+from repro.strings import lis_length
+from repro.workloads.permutations import (apply_moves, block_shuffled_pair,
+                                          random_permutation)
+
+from .conftest import run_once
+
+X = 0.3
+EPS = 0.25
+
+
+def _run():
+    rows = []
+    for n in (128, 256, 512):
+        for label, seq in {
+            "sorted": np.arange(n),
+            "near-sorted": apply_moves(np.arange(n), n // 16, seed=1),
+            "segment-shuffled": block_shuffled_pair(n, 8, seed=2)[1],
+            "random": random_permutation(n, seed=3),
+            "reversed": np.arange(n)[::-1].copy(),
+        }.items():
+            res = mpc_lis(seq, x=X, eps=EPS)
+            exact = lis_length(seq)
+            rows.append({
+                "n": n, "structure": label, "exact": exact,
+                "mpc": res.lis, "additive_gap": exact - res.lis,
+                "bound_2eps_n": int(2 * EPS * n),
+                "K": res.n_buckets, "rounds": res.stats.n_rounds,
+            })
+    return rows
+
+
+def bench_lis_extension(benchmark, report):
+    rows = run_once(benchmark, _run)
+    lines = [
+        "LIS extension: certified lower bound, additive <= 2*eps*n, "
+        "2 rounds",
+        f"x = {X}, eps = {EPS}",
+        "",
+        format_table(
+            ["n", "structure", "exact", "mpc", "additive_gap",
+             "bound_2eps_n", "K", "rounds"],
+            [[r[k] for k in ("n", "structure", "exact", "mpc",
+                             "additive_gap", "bound_2eps_n", "K",
+                             "rounds")] for r in rows]),
+    ]
+    report("E17_lis_extension", "\n".join(lines))
+
+    for r in rows:
+        assert r["mpc"] <= r["exact"]
+        assert r["additive_gap"] <= r["bound_2eps_n"]
+        assert r["rounds"] == 2

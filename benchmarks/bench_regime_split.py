@@ -1,0 +1,92 @@
+"""E6 — the small/large regime split around ``n^δ = n^(1-x/5)`` (§3.2).
+
+Two measurements:
+
+1. **auto driver across a distance sweep** — which guesses run, which
+   regime each guess lands in, and where the driver accepts.  At
+   benchable ``n`` the boundary ``n^(1-x/5)`` exceeds ``n/2``, so every
+   accepted guess is small-regime (the bench records the boundary to make
+   that visible — this is itself a finding documented in EXPERIMENTS.md).
+2. **forced large regime at the accepted guess** — the four-round
+   machinery (Algorithms 5–7) run on the same far inputs, with its
+   approximation ratio and per-round machine counts.
+"""
+
+from repro import EditConfig, mpc_edit_distance
+from repro.analysis import format_table
+from repro.strings import levenshtein
+from repro.workloads.strings import block_shuffled_pair, planted_pair
+
+from .conftest import run_once
+
+N = 512
+X = 0.29
+EPS = 1.0
+
+
+def _run():
+    sweep = []
+    for budget in (2, 8, 32, 128, 512):
+        s, t, _ = planted_pair(N, budget, sigma=4, seed=budget)
+        res = mpc_edit_distance(s, t, x=X, eps=EPS, seed=1)
+        exact = levenshtein(s, t)
+        sweep.append({
+            "planted": budget,
+            "exact": exact,
+            "mpc": res.distance,
+            "ratio": res.distance / max(exact, 1),
+            "accepted_guess": res.accepted_guess,
+            "regime": res.regime,
+            "guesses_run": len(res.per_guess),
+        })
+
+    forced = []
+    cfg = EditConfig(force_regime="large", max_representatives=16,
+                     max_low_degree_samples=8,
+                     max_extensions_per_pair_source=8)
+    for segs in (4, 16):
+        s, t = block_shuffled_pair(N, segs, seed=0)
+        res = mpc_edit_distance(s, t, x=X, eps=EPS, seed=1, config=cfg)
+        exact = levenshtein(s, t)
+        forced.append({
+            "segments": segs,
+            "exact": exact,
+            "mpc": res.distance,
+            "ratio": res.distance / max(exact, 1),
+            "rounds": res.stats.n_rounds,
+            "machines": res.stats.max_machines,
+        })
+    return sweep, forced
+
+
+def bench_regime_split(benchmark, report):
+    sweep, forced = run_once(benchmark, _run)
+    boundary = round(N ** (1 - X / 5))
+    lines = [
+        f"Regime split at n = {N}, x = {X}:"
+        f" boundary n^(1-x/5) = {boundary}"
+        f" (exceeds n/2={N // 2} -> auto driver accepts in the small"
+        " regime at this scale)",
+        "",
+        "auto driver, planted-distance sweep:",
+        format_table(
+            ["planted", "exact", "mpc", "ratio", "accepted_guess",
+             "regime", "guesses_run"],
+            [[r[k] for k in ("planted", "exact", "mpc", "ratio",
+                             "accepted_guess", "regime", "guesses_run")]
+             for r in sweep]),
+        "",
+        "forced large regime (Algorithms 5-7, 4 rounds) on far pairs:",
+        format_table(
+            ["segments", "exact", "mpc", "ratio", "rounds", "machines"],
+            [[r[k] for k in ("segments", "exact", "mpc", "ratio",
+                             "rounds", "machines")] for r in forced]),
+    ]
+    report("E6_regime_split", "\n".join(lines))
+
+    assert all(r["ratio"] <= 3 + EPS for r in sweep)
+    assert all(r["ratio"] <= 3 + EPS for r in forced)
+    assert all(r["rounds"] == 4 for r in forced)
+    # accepted guess grows with the planted distance
+    accepted = [r["accepted_guess"] for r in sweep]
+    assert accepted == sorted(accepted)

@@ -1,0 +1,63 @@
+"""E3 — Table 1 row 4: the HSS'19 baseline.
+
+Measures the prior-work row we implemented: ``1+ε`` approximation, 2
+rounds, ``Õ_ε(n^2x)`` machines — the machine count our algorithm improves
+on (E4 overlays the two curves).
+"""
+
+from repro.analysis import fit_power_law, format_table
+from repro.baselines import hss_edit_distance
+from repro.strings import levenshtein
+from repro.workloads.strings import planted_pair
+
+from .conftest import run_once
+
+X = 0.29
+EPS = 1.0
+NS = [128, 256, 512, 1024]
+
+
+def _run_ladder():
+    rows = []
+    for n in NS:
+        s, t, _ = planted_pair(n, max(4, n // 16), sigma=4, seed=n)
+        res = hss_edit_distance(s, t, x=X, eps=EPS)
+        exact = levenshtein(s, t)
+        rows.append({
+            "n": n,
+            "exact": exact,
+            "hss": res.distance,
+            "ratio": res.distance / max(exact, 1),
+            "rounds": res.stats.n_rounds,
+            "machines": res.stats.max_machines,
+            "n^2x": round(n ** (2 * X), 1),
+            "mem_words": res.stats.max_memory_words,
+            "total_work": res.stats.total_work,
+        })
+    return rows
+
+
+def bench_table1_row4_hss(benchmark, report):
+    rows = run_once(benchmark, _run_ladder)
+    table = format_table(
+        ["n", "exact", "hss", "ratio", "rounds", "machines", "n^2x",
+         "mem_words", "total_work"],
+        [[r[k] for k in ("n", "exact", "hss", "ratio", "rounds",
+                         "machines", "n^2x", "mem_words", "total_work")]
+         for r in rows])
+    machine_fit = fit_power_law([r["n"] for r in rows],
+                                [r["machines"] for r in rows])
+    lines = [
+        "Table 1 row 4 (HSS SODA'19): 1+eps edit distance, 2 rounds,"
+        " n^2x machines",
+        f"x = {X}, eps = {EPS}",
+        "",
+        table,
+        "",
+        f"machines ~ n^{machine_fit.exponent:.2f}"
+        f"  (paper: n^{2 * X:.2f}; r2={machine_fit.r_squared:.3f})",
+    ]
+    report("E3_table1_baseline_hss", "\n".join(lines))
+
+    assert all(r["ratio"] <= 1 + EPS for r in rows)
+    assert all(r["rounds"] == 2 for r in rows)

@@ -1,0 +1,79 @@
+"""E16 — all four Table 1 rows, measured side by side.
+
+With the BEGHS'18-style implementation in place, every row of Table 1 is
+a running algorithm.  This bench executes all four on comparable inputs
+and prints the table the paper opens with, in measured form:
+
+* Ulam (Theorem 4)            — permutation workload;
+* edit distance (Theorem 9)   — string workload;
+* BEGHS'18 [11]               — same string workload, O(log n) rounds;
+* HSS'19 [20]                 — same string workload, n^2x machines.
+"""
+
+from repro import mpc_edit_distance, mpc_ulam
+from repro.analysis import format_table
+from repro.baselines import beghs_edit_distance, hss_edit_distance
+from repro.strings import levenshtein, ulam_distance
+from repro.workloads.permutations import planted_pair as perm_pair
+from repro.workloads.strings import planted_pair as str_pair
+
+from .conftest import run_once
+
+N = 384
+X = 0.29
+EPS = 1.0
+
+
+def _run():
+    ps, pt, _ = perm_pair(N, N // 16, seed=1, style="mixed")
+    ss, st_, _ = str_pair(N, N // 16, sigma=4, seed=2)
+    exact_u = ulam_distance(ps, pt)
+    exact_e = levenshtein(ss, st_)
+
+    ulam = mpc_ulam(ps, pt, x=0.4, eps=0.5, seed=1)
+    ours = mpc_edit_distance(ss, st_, x=X, eps=EPS, seed=1)
+    beghs = beghs_edit_distance(ss, st_, eps=EPS, base_exponent=0.7)
+    hss = hss_edit_distance(ss, st_, x=X, eps=EPS)
+
+    def row(problem, reference, guarantee, res, exact):
+        return [problem, reference, guarantee,
+                f"{res.distance / max(exact, 1):.3f}",
+                res.stats.n_rounds, res.stats.max_machines,
+                res.stats.max_memory_words, res.stats.total_work]
+
+    return [
+        row("ulam", "Theorem 4", "1+eps", ulam, exact_u),
+        row("edit", "Theorem 9", "3+eps", ours, exact_e),
+        row("edit", "BEGHS'18 [11]", "1+eps", beghs, exact_e),
+        row("edit", "HSS'19 [20]", "1+eps", hss, exact_e),
+    ], exact_u, exact_e
+
+
+def bench_table1_all_rows(benchmark, report):
+    rows, exact_u, exact_e = run_once(benchmark, _run)
+    lines = [
+        "Table 1, all four rows measured on comparable inputs",
+        f"n = {N}, x = {X} (Ulam at x = 0.4), planted d = n/16"
+        f" (exact: ulam {exact_u}, edit {exact_e})",
+        "",
+        format_table(
+            ["problem", "reference", "guarantee", "measured_ratio",
+             "rounds", "machines", "memory/machine", "total_work"],
+            rows),
+        "",
+        "Table 1 structure, measured: the 1+eps rows pay either rounds"
+        " (BEGHS: O(log n)) or machines (HSS: n^2x); Theorem 9 runs in"
+        " <= 4 rounds with the fewest machines at a 3+eps budget.",
+    ]
+    report("E16_table1_full", "\n".join(lines))
+
+    by_ref = {r[1]: r for r in rows}
+    # every algorithm within its guarantee
+    assert float(by_ref["Theorem 4"][3]) <= 1.5
+    assert float(by_ref["Theorem 9"][3]) <= 3 + EPS
+    assert float(by_ref["BEGHS'18 [11]"][3]) <= 1 + EPS
+    assert float(by_ref["HSS'19 [20]"][3]) <= 1 + EPS
+    # the round/machine structure of the table
+    assert by_ref["BEGHS'18 [11]"][4] > by_ref["Theorem 9"][4]
+    assert by_ref["HSS'19 [20]"][5] > by_ref["Theorem 9"][5]
+    assert by_ref["Theorem 4"][4] == 2 and by_ref["HSS'19 [20]"][4] == 2

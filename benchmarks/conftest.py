@@ -1,0 +1,39 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one experiment of EXPERIMENTS.md
+(E1–E13).  Benchmarks print their paper-style tables *and* persist them
+under ``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Callable fixture: ``report(experiment_id, text)`` prints the block
+    and writes it to ``benchmarks/results/<experiment_id>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(experiment_id: str, text: str) -> None:
+        banner = f"\n=== {experiment_id} ===\n{text}\n"
+        print(banner)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive driver exactly once under pytest-benchmark.
+
+    The MPC drivers take seconds per call; timing them with the default
+    calibrating loop would multiply the suite's runtime for no insight.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

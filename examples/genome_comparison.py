@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Genome comparison: the paper's motivating workload (§1).
+
+The introduction motivates subquadratic similarity computation with
+genome-scale inputs ("a human genome consists of almost three billion
+base pairs").  This example builds synthetic chromosomes at several
+divergence levels (point mutations + short indels, human-like GC
+content), measures their edit distance with the MPC algorithm, and shows
+how the accepted solution-size guess tracks the true evolutionary
+divergence — the quantity a comparative-genomics user actually wants.
+
+Usage::
+
+    python examples/genome_comparison.py [n]
+"""
+
+import sys
+
+from repro import mpc_edit_distance
+from repro.analysis import format_table
+from repro.strings import levenshtein
+from repro.workloads.genome import evolve, random_genome, to_dna
+
+
+def main(n: int = 2048) -> None:
+    ancestor = random_genome(n, gc_content=0.41, seed=7)
+    print(f"ancestor ({n} bp): {to_dna(ancestor[:60])}...")
+    print()
+
+    rows = []
+    for divergence in (0.001, 0.005, 0.02, 0.05):
+        derived, budget = evolve(ancestor,
+                                 sub_rate=divergence * 0.8,
+                                 indel_rate=divergence * 0.2,
+                                 seed=int(divergence * 10_000))
+        result = mpc_edit_distance(ancestor, derived, x=0.29, eps=1.0,
+                                   seed=0)
+        exact = levenshtein(ancestor, derived)
+        rows.append([
+            f"{divergence:.1%}",
+            budget,
+            exact,
+            result.distance,
+            f"{result.distance / max(exact, 1):.3f}",
+            result.accepted_guess,
+            result.stats.max_machines,
+            f"{result.stats.total_work / 1e6:.2f}",
+        ])
+
+    print(format_table(
+        ["divergence", "mutation budget", "exact ed", "MPC ed", "ratio",
+         "accepted guess", "machines", "work (Mcells)"],
+        rows))
+    print()
+    print("Reading the table: the MPC answer tracks the true distance "
+          "within the 3+eps guarantee, and both the accepted size guess "
+          "and the total work grow with divergence (the size-guessing "
+          "driver works harder the further apart the genomes are).")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2048)

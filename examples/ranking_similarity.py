@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Ranking similarity with Ulam distance (the permutation workload).
+
+Ulam distance is the natural edit metric on *rankings*: every item
+appears exactly once, and the distance counts the moves/replacements
+needed to turn one ranking into another (more displacement-sensitive
+than Kendall's tau, which counts pairwise inversions).
+
+This example compares a "ground truth" ranking of items against several
+synthetic judges — one nearly agreeing, one who moved a whole section,
+one random — using the paper's 2-round MPC Ulam algorithm, and
+cross-checks against the exact distance and the indel-only relaxation.
+
+Usage::
+
+    python examples/ranking_similarity.py
+"""
+
+import numpy as np
+
+from repro import mpc_ulam
+from repro.analysis import format_table
+from repro.strings import ulam_distance, ulam_indel
+from repro.workloads.permutations import (apply_moves, apply_value_swaps,
+                                          random_permutation)
+
+
+def make_judges(truth: np.ndarray, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    n = len(truth)
+
+    nearly = apply_moves(truth, 5, seed=rng)
+
+    # a judge who promoted the bottom quartile wholesale
+    q = n // 4
+    section_mover = np.concatenate([truth[-q:], truth[:-q]])
+
+    noisy = apply_value_swaps(apply_moves(truth, n // 10, seed=rng),
+                              n // 10, seed=rng)
+    random_judge = random_permutation(n, seed=rng)
+
+    return {
+        "nearly-agreeing": nearly,
+        "section-mover": section_mover,
+        "noisy": noisy,
+        "random": random_judge,
+    }
+
+
+def main() -> None:
+    n = 512
+    truth = random_permutation(n, seed=3)
+    rows = []
+    for name, ranking in make_judges(truth, seed=4).items():
+        res = mpc_ulam(truth, ranking, x=0.4, eps=0.5, seed=0)
+        exact = ulam_distance(truth, ranking)
+        indel = ulam_indel(truth, ranking)
+        rows.append([
+            name,
+            exact,
+            res.distance,
+            f"{res.distance / max(exact, 1):.3f}",
+            indel,
+            f"{1 - exact / n:.2f}",
+            res.stats.max_machines,
+        ])
+
+    print(f"ranking {n} items against ground truth "
+          "(MPC Ulam, x=0.4, eps=0.5):\n")
+    print(format_table(
+        ["judge", "exact ulam", "MPC ulam", "ratio",
+         "indel-only", "similarity", "machines"],
+        rows))
+    print()
+    print("Notes: 'indel-only' is the substitution-free relaxation "
+          "(within 2x of the true distance, cheaper to compute); "
+          "'similarity' is 1 - ulam/n.  The section-mover shows why "
+          "Ulam beats inversion counts: one coherent move of n/4 items "
+          "costs ~n/4, not ~n^2/16 inversions.")
+
+
+if __name__ == "__main__":
+    main()

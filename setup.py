@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment has setuptools but not ``wheel``, so PEP-660
+editable installs fail; this shim lets ``pip install -e .`` use the legacy
+develop path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Plain-text report rendering for benchmark output.
+
+Benchmarks print the rows/series the paper's Table 1 and resource claims
+correspond to; this module renders them as aligned monospace tables so
+``pytest benchmarks/ --benchmark-only`` output is directly comparable to
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = ["format_table", "format_kv"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], [30, "x"]]))
+    a   b
+    --  ---
+    1   2.5
+    30  x
+    """
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000 or abs(v) < 0.01:
+                return f"{v:.3g}"
+            return f"{v:.3f}".rstrip("0").rstrip(".")
+        return str(v)
+
+    table = [[cell(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in table)) if table else len(h)
+              for i, h in enumerate(headers)]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in table:
+        lines.append("  ".join(c.ljust(w)
+                               for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_kv(title: str, data: Dict[str, object]) -> str:
+    """Render a titled key/value block."""
+    lines = [title, "-" * len(title)]
+    width = max((len(k) for k in data), default=0)
+    for k, v in data.items():
+        lines.append(f"{k.ljust(width)} : {v}")
+    return "\n".join(lines)

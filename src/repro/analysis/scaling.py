@@ -1,0 +1,58 @@
+"""Log–log scaling fits for resource curves.
+
+The paper's claims are exponents (machines ``~ n^(9/5 x)``, work
+``~ n``, …).  Benchmarks verify them by measuring a resource over a
+geometric ``n``-ladder and fitting the slope on log–log axes; this module
+owns that fit and its quality diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``value ≈ coef · n^exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        """Fitted value at ``n``."""
+        return self.coefficient * (n ** self.exponent)
+
+
+def fit_power_law(ns: Sequence[float], values: Sequence[float]
+                  ) -> PowerLawFit:
+    """Fit ``values ~ coef · ns^exponent`` by least squares in log space.
+
+    Requires at least two distinct positive ``ns`` and positive values
+    (resources measured by the simulator are always ≥ 1 when non-trivial).
+    """
+    ns_arr = np.asarray(ns, dtype=float)
+    vals = np.asarray(values, dtype=float)
+    if len(ns_arr) != len(vals):
+        raise ValueError("ns and values must have equal length")
+    if len(ns_arr) < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if (ns_arr <= 0).any() or (vals <= 0).any():
+        raise ValueError("power-law fit requires positive data")
+    lx = np.log(ns_arr)
+    ly = np.log(vals)
+    if np.allclose(lx, lx[0]):
+        raise ValueError("ns must contain at least two distinct values")
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(exponent=float(slope),
+                       coefficient=float(np.exp(intercept)),
+                       r_squared=r2)

@@ -1,0 +1,17 @@
+"""Baselines: HSS'19 and BEGHS'18 (both implemented and measured),
+single-machine references, and the analytic Table 1 rows."""
+
+from .beghs import BeghsResult, beghs_edit_distance
+from .hss import HSSResult, hss_edit_distance
+from .single_machine import (SingleMachineResult, exact_edit_distance,
+                             exact_ulam, single_machine_edit_distance,
+                             single_machine_ulam)
+from .theory import Table1Row, table1_rows
+
+__all__ = [
+    "BeghsResult", "beghs_edit_distance",
+    "HSSResult", "hss_edit_distance",
+    "SingleMachineResult", "exact_edit_distance", "exact_ulam",
+    "single_machine_edit_distance", "single_machine_ulam",
+    "Table1Row", "table1_rows",
+]

@@ -1,0 +1,74 @@
+"""Single-machine reference baselines.
+
+Ground-truth solvers (exact DP, banded DP, near-linear Ulam indel) plus a
+one-machine "MPC" wrapper that runs the whole problem in a single round —
+the degenerate ``x → 0`` corner of Table 1, useful as the denominator in
+machine-count and speed-up comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..mpc.accounting import RunStats
+from ..mpc.simulator import MPCSimulator
+from ..strings.banded import levenshtein_doubling
+from ..strings.edit_distance import levenshtein
+from ..strings.types import as_array
+from ..strings.ulam import ulam_distance
+
+__all__ = ["SingleMachineResult", "single_machine_edit_distance",
+           "single_machine_ulam", "exact_edit_distance", "exact_ulam"]
+
+
+def exact_edit_distance(s, t) -> int:
+    """Exact edit distance (dense DP) — the correctness oracle."""
+    return levenshtein(s, t)
+
+
+def exact_ulam(s, t) -> int:
+    """Exact Ulam distance (dense DP with validation)."""
+    return ulam_distance(s, t)
+
+
+@dataclass
+class SingleMachineResult:
+    """Outcome of a one-machine, one-round execution."""
+
+    distance: int
+    n: int
+    stats: RunStats
+
+    def summary(self) -> Dict[str, object]:
+        out = {"distance": self.distance, "n": self.n}
+        out.update(self.stats.summary())
+        return out
+
+
+def _run_ed(payload) -> int:
+    return levenshtein_doubling(payload["s"], payload["t"])
+
+
+def _run_ulam(payload) -> int:
+    return ulam_distance(payload["s"], payload["t"])
+
+
+def single_machine_edit_distance(s, t,
+                                 sim: Optional[MPCSimulator] = None
+                                 ) -> SingleMachineResult:
+    """Exact edit distance as a 1-machine, 1-round MPC execution."""
+    S, T = as_array(s), as_array(t)
+    sim = sim or MPCSimulator(memory_limit=None)
+    d = sim.run_round("single/solve", _run_ed, [{"s": S, "t": T}])[0]
+    return SingleMachineResult(distance=int(d), n=len(S), stats=sim.stats)
+
+
+def single_machine_ulam(s, t,
+                        sim: Optional[MPCSimulator] = None
+                        ) -> SingleMachineResult:
+    """Exact Ulam distance as a 1-machine, 1-round MPC execution."""
+    S, T = as_array(s), as_array(t)
+    sim = sim or MPCSimulator(memory_limit=None)
+    d = sim.run_round("single/solve", _run_ulam, [{"s": S, "t": T}])[0]
+    return SingleMachineResult(distance=int(d), n=len(S), stats=sim.stats)

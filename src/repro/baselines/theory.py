@@ -1,0 +1,63 @@
+"""Analytic resource formulas for every Table 1 row.
+
+Table 1 compares four algorithms; two of them (this paper's) are
+implemented and *measured* in this repository, and the two previous-work
+rows are stated by their published complexity formulas.  This module
+renders all four rows for concrete ``(n, x, ε)`` so benchmark E4 can plot
+measured machine counts against the analytic curves and verify the
+"who wins" structure of the table:
+
+* Ulam (Theorem 4):   ``1+ε``, 2 rounds, ``n^x`` machines, ``Õ(n)`` work.
+* Edit (Theorem 9):   ``3+ε``, 4 rounds, ``n^(9/5·x)`` machines,
+  ``Õ(n^(2-min((1-x)/6, 2x/5)))`` work.
+* BEGHS'18 [11]:      ``1+ε``, ``O(log n)`` rounds, ``Õ(n^(8/9))``
+  machines of memory ``Õ(n^(8/9))``, ``Õ(n^2.6)`` work.
+* HSS'19 [20]:        ``1+ε``, 2 rounds, ``Õ(n^2x)`` machines,
+  ``Õ(n²)`` work.
+
+Polylog/poly(1/ε) factors are suppressed exactly as in the paper
+(functions return the bare power of ``n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Table1Row", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1 instantiated at concrete ``n`` and ``x``."""
+
+    problem: str
+    reference: str
+    approximation: str
+    rounds: str
+    memory_per_machine: float
+    machines: float
+    total_time: float
+
+
+def table1_rows(n: int, x: float) -> List[Table1Row]:
+    """All four Table 1 rows evaluated at ``(n, x)``.
+
+    ``x`` applies to the rows parameterised by a memory exponent; the
+    BEGHS row has fixed exponents.
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    if not 0 < x < 1:
+        raise ValueError("x must lie in (0, 1)")
+    ours_edit_time = n ** (2 - min((1 - x) / 6, 2 * x / 5))
+    return [
+        Table1Row("ulam", "Theorem 4", "1+eps", "2",
+                  n ** (1 - x), n ** x, float(n)),
+        Table1Row("edit", "Theorem 9", "3+eps", "4",
+                  n ** (1 - x), n ** (1.8 * x), ours_edit_time),
+        Table1Row("edit", "BEGHS'18 [11]", "1+eps", "O(log n)",
+                  n ** (8 / 9), n ** (8 / 9), float(n) ** 2.6),
+        Table1Row("edit", "HSS'19 [20]", "1+eps", "2",
+                  n ** (1 - x), n ** (2 * x), float(n) ** 2),
+    ]

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``ulam``    run the Theorem-4 Ulam algorithm on a generated permutation
+            pair (or two files) and print the resource ledger.
+``edit``    run the Theorem-9 edit-distance algorithm likewise.
+``lcs``     run the LCS extension.
+``lis``     run the LIS extension on a generated permutation.
+``hss``     run the HSS'19 baseline for comparison.
+``beghs``   run the BEGHS'18-style O(log n)-round baseline.
+``table1``  print all four analytic Table 1 rows for a given (n, x).
+
+File inputs (``--s-file`` / ``--t-file``) are read as text; otherwise a
+seeded workload with a planted distance is generated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import format_kv, format_table
+from .baselines import beghs_edit_distance, hss_edit_distance, table1_rows
+from .editdistance import mpc_edit_distance
+from .extensions import mpc_lcs, mpc_lis
+from .strings import levenshtein, ulam_distance
+from .strings.types import as_array
+from .ulam import mpc_ulam
+from .workloads.permutations import planted_pair as perm_pair
+from .workloads.strings import planted_pair as str_pair
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MPC edit distance / Ulam distance "
+                    "(Boroujeni-Ghodsi-Seddighin, SPAA'19 / TPDS'21)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, default_x: float,
+               default_eps: float) -> None:
+        p.add_argument("--n", type=int, default=512,
+                       help="generated input length (default 512)")
+        p.add_argument("--budget", type=int, default=None,
+                       help="planted distance budget (default n/16)")
+        p.add_argument("--x", type=float, default=default_x,
+                       help="memory exponent")
+        p.add_argument("--eps", type=float, default=default_eps,
+                       help="approximation slack")
+        p.add_argument("--seed", type=int, default=0, help="root seed")
+        p.add_argument("--s-file", type=str, default=None,
+                       help="read s from this text file")
+        p.add_argument("--t-file", type=str, default=None,
+                       help="read t from this text file")
+        p.add_argument("--exact", action="store_true",
+                       help="also compute the exact distance (O(n^2))")
+
+    common(sub.add_parser("ulam", help="Theorem 4 (1+eps, 2 rounds)"),
+           default_x=0.4, default_eps=0.5)
+    common(sub.add_parser("edit", help="Theorem 9 (3+eps, <=4 rounds)"),
+           default_x=0.25, default_eps=1.0)
+    common(sub.add_parser("lcs", help="LCS extension (2 rounds)"),
+           default_x=0.25, default_eps=0.25)
+    common(sub.add_parser("lis", help="LIS extension (2 rounds)"),
+           default_x=0.3, default_eps=0.25)
+    common(sub.add_parser("hss", help="HSS'19 baseline (1+eps, 2 rounds)"),
+           default_x=0.25, default_eps=1.0)
+    common(sub.add_parser(
+        "beghs", help="BEGHS'18 baseline (1+eps, O(log n) rounds)"),
+        default_x=0.25, default_eps=1.0)
+
+    t1 = sub.add_parser("table1", help="print the analytic Table 1 rows")
+    t1.add_argument("--n", type=int, default=10 ** 6)
+    t1.add_argument("--x", type=float, default=0.25)
+    return parser
+
+
+def _load_or_generate(args, kind: str):
+    if (args.s_file is None) != (args.t_file is None):
+        raise SystemExit("provide both --s-file and --t-file, or neither")
+    if args.s_file is not None:
+        with open(args.s_file) as fh:
+            s = as_array(fh.read().strip())
+        with open(args.t_file) as fh:
+            t = as_array(fh.read().strip())
+        return s, t
+    budget = args.budget if args.budget is not None else args.n // 16
+    if kind == "perm":
+        s, t, _ = perm_pair(args.n, budget, seed=args.seed, style="mixed")
+    else:
+        s, t, _ = str_pair(args.n, budget, sigma=4, seed=args.seed)
+    return s, t
+
+
+def _print_result(title: str, answer: int, exact: Optional[int],
+                  stats, extra: Optional[dict] = None) -> None:
+    data = {"answer": answer}
+    if exact is not None:
+        data["exact"] = exact
+        data["ratio"] = (f"{answer / exact:.4f}" if exact else
+                         ("1.0000" if answer == 0 else "inf"))
+    data.update(extra or {})
+    data.update(stats.summary())
+    print(format_kv(title, data))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        rows = table1_rows(args.n, args.x)
+        print(f"Table 1 at n = {args.n}, x = {args.x}:")
+        print(format_table(
+            ["problem", "reference", "approx", "rounds",
+             "memory/machine", "machines", "total time"],
+            [[r.problem, r.reference, r.approximation, r.rounds,
+              r.memory_per_machine, r.machines, r.total_time]
+             for r in rows]))
+        return 0
+
+    if args.command == "ulam":
+        s, t = _load_or_generate(args, "perm")
+        res = mpc_ulam(s, t, x=args.x, eps=args.eps, seed=args.seed)
+        exact = ulam_distance(s, t) if args.exact else None
+        _print_result("MPC Ulam distance (Theorem 4)", res.distance,
+                      exact, res.stats, {"guarantee": f"1+{args.eps}"})
+        return 0
+
+    if args.command == "edit":
+        s, t = _load_or_generate(args, "str")
+        res = mpc_edit_distance(s, t, x=args.x, eps=args.eps,
+                                seed=args.seed)
+        exact = levenshtein(s, t) if args.exact else None
+        _print_result("MPC edit distance (Theorem 9)", res.distance,
+                      exact, res.stats,
+                      {"guarantee": f"3+{args.eps}",
+                       "regime": res.regime,
+                       "accepted_guess": res.accepted_guess})
+        return 0
+
+    if args.command == "lcs":
+        s, t = _load_or_generate(args, "str")
+        res = mpc_lcs(s, t, x=args.x, eps=args.eps)
+        from .strings import lcs_length
+        exact = lcs_length(s, t) if args.exact else None
+        _print_result("MPC LCS (extension)", res.lcs, exact, res.stats,
+                      {"guarantee": f"additive {args.eps}*n"})
+        return 0
+
+    if args.command == "lis":
+        from .workloads.permutations import apply_moves, random_permutation
+        budget = args.budget if args.budget is not None else args.n // 16
+        seq = apply_moves(random_permutation(args.n, seed=args.seed),
+                          budget, seed=args.seed + 1)
+        res = mpc_lis(seq, x=args.x, eps=args.eps)
+        from .strings import lis_length
+        exact = lis_length(seq) if args.exact else None
+        _print_result("MPC LIS (extension)", res.lis, exact, res.stats,
+                      {"guarantee": f"additive 2*{args.eps}*n",
+                       "buckets": res.n_buckets})
+        return 0
+
+    if args.command == "beghs":
+        s, t = _load_or_generate(args, "str")
+        res = beghs_edit_distance(s, t, eps=args.eps)
+        exact = levenshtein(s, t) if args.exact else None
+        _print_result("BEGHS'18 baseline edit distance", res.distance,
+                      exact, res.stats,
+                      {"guarantee": f"1+O({args.eps})",
+                       "tree_depth": res.depth})
+        return 0
+
+    if args.command == "hss":
+        s, t = _load_or_generate(args, "str")
+        res = hss_edit_distance(s, t, x=args.x, eps=args.eps)
+        exact = levenshtein(s, t) if args.exact else None
+        _print_result("HSS'19 baseline edit distance", res.distance,
+                      exact, res.stats, {"guarantee": f"1+{args.eps}"})
+        return 0
+
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

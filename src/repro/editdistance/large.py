@@ -1,0 +1,349 @@
+"""Large-distance regime (§5.2): Algorithms 5–7 + phase-4 DP, four rounds.
+
+Round 1 (Algorithm 5) samples representative nodes and computes their
+distances to every node of ``G_τ``; the driver then generates, for every
+block, the triangle-inequality edges of Lemma 7 (dense nodes get their
+whole neighbourhood, false positives stretch at most ``3τ``).
+
+Round 2 (Algorithm 6) samples blocks with a shared-seed coin; a sampled
+block that is *not* covered by a representative (sparse at its relevant
+thresholds) computes its distance to every one of its candidate
+substrings.
+
+Round 3 (Algorithm 7) *extends* each sampled sparse block's close
+candidates to the other blocks of its larger (``n^(1-y')``-sized) block:
+if ``s[ℓ_i, r_i)`` maps near ``s̄[γ, κ)``, then a sibling ``s[ℓ_j, r_j)``
+maps near ``s̄[γ + (ℓ_j - ℓ_i), κ + (r_j - r_i))`` — those shifted pairs
+get exact distances.
+
+Round 4 chains everything with the overlap-tolerant combining DP.
+
+Performance note: candidate-substring nodes that share a starting point
+are nested prefixes of one text slice, so rounds 1–2 evaluate each
+(string, start-group) with a *single* Wagner–Fischer last row and read
+off every endpoint — exactly the paper's distances, a large constant
+factor cheaper than per-pair DPs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..mpc.simulator import MPCSimulator
+from ..params import EditParams
+from ..strings.approx import make_inner
+from ..strings.edit_distance import levenshtein_last_row
+from .combine import EditTuple, run_edit_combine_machine
+from .config import EditConfig
+from .graph import NodeId, RepDistances, build_candidate_nodes, node_string
+
+__all__ = ["run_rep_distance_machine", "run_pair_distance_machine",
+           "run_block_vs_groups_machine", "large_distance_upper_bound",
+           "group_candidates_by_start"]
+
+#: ``(start, [end, ...])`` — all candidate nodes sharing one start.
+CsGroup = Tuple[int, List[int]]
+
+
+def group_candidates_by_start(cs_nodes: Sequence[NodeId]
+                              ) -> List[CsGroup]:
+    """Group candidate-substring nodes by starting point (sorted)."""
+    groups: Dict[int, List[int]] = {}
+    for kind, st, en in cs_nodes:
+        if kind != "c":  # pragma: no cover - caller passes cs nodes only
+            raise ValueError("expected candidate nodes")
+        groups.setdefault(st, []).append(en)
+    return [(st, sorted(ens)) for st, ens in sorted(groups.items())]
+
+
+def run_rep_distance_machine(payload: Dict[str, object]) -> np.ndarray:
+    """Algorithm 5: distances from a representative chunk to a node chunk.
+
+    Nodes arrive in two shapes: explicit ``(node_id, array)`` pairs (block
+    nodes) and start-grouped candidate slices (one shared DP row each).
+    Returns a flat ``int64`` array of distances in deterministic
+    (rep-major, block-nodes-then-group-endpoints) order; the driver — who
+    built the payload — reconstructs the (rep, node) pairing.  Shipping
+    one word per distance keeps the machine output within its memory cap.
+    """
+    solver = make_inner(str(payload["solver"]), float(payload["eps_inner"]))
+    reps: List[Tuple[int, np.ndarray]] = payload["reps"]       # type: ignore
+    blocks: List[Tuple[NodeId, np.ndarray]] = payload["blocks"]  # type: ignore
+    groups: List[Tuple[int, np.ndarray, List[int]]] = \
+        payload["cs_groups"]                                   # type: ignore
+    out: List[int] = []
+    for rep_idx, rep_arr in reps:
+        for node_id, node_arr in blocks:
+            out.append(int(solver(rep_arr, node_arr)))
+        for st, seg, ens in groups:
+            row = levenshtein_last_row(rep_arr, seg)
+            for en in ens:
+                out.append(int(row[en - st]))
+    return np.asarray(out, dtype=np.int64)
+
+
+def run_block_vs_groups_machine(payload: Dict[str, object]) -> np.ndarray:
+    """Algorithm 6 distance part: one block vs grouped candidates.
+
+    Returns a flat distance array in group-endpoint order (the driver
+    reconstructs the windows from its payload bookkeeping).
+    """
+    block: np.ndarray = payload["block"]                       # type: ignore
+    groups: List[Tuple[int, np.ndarray, List[int]]] = \
+        payload["cs_groups"]                                   # type: ignore
+    out: List[int] = []
+    for st, seg, ens in groups:
+        row = levenshtein_last_row(block, seg)
+        for en in ens:
+            out.append(int(row[en - st]))
+    return np.asarray(out, dtype=np.int64)
+
+
+def run_pair_distance_machine(payload: Dict[str, object]) -> np.ndarray:
+    """Algorithm 7: exact distances for explicit (block, window) pairs.
+
+    Returns a flat distance array in item order.
+    """
+    solver = make_inner(str(payload["solver"]), float(payload["eps_inner"]))
+    out: List[int] = []
+    for lo, hi, block_arr, st, en, win_arr in payload["items"]:  # type: ignore
+        out.append(int(solver(block_arr, win_arr)))
+    return np.asarray(out, dtype=np.int64)
+
+
+def _cap_per_block(tuples: List[EditTuple],
+                   top_k: Optional[int]) -> List[EditTuple]:
+    if top_k is None:
+        return tuples
+    by_block: Dict[int, List[EditTuple]] = {}
+    for t in tuples:
+        by_block.setdefault(t[0], []).append(t)
+    out: List[EditTuple] = []
+    for lo, tl in sorted(by_block.items()):
+        tl.sort(key=lambda t: (t[4], t[3] - t[2]))
+        out.extend(tl[:top_k])
+    return out
+
+
+def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
+                               params: EditParams, guess: int,
+                               sim: MPCSimulator, config: EditConfig,
+                               seed: int = 0,
+                               round_prefix: str = "ed-large"
+                               ) -> Tuple[int, Dict[str, int]]:
+    """Run the four-round large-distance algorithm for one guess.
+
+    Returns ``(upper_bound, diagnostics)``; the bound is the cost of an
+    explicit transformation (always valid) and approximates
+    ``ed(S, T) ≤ guess`` within ``3+ε`` w.h.p. (Lemma 8).
+    """
+    n, n_t = len(S), len(T)
+    rng = np.random.default_rng(seed)
+    B = params.block_size_large
+    gap = params.gap(guess, B)
+    eps_prime = params.eps_prime
+
+    block_nodes: List[NodeId] = [("b", lo, min(lo + B, n))
+                                 for lo in range(0, n, B)]
+    cs_nodes = build_candidate_nodes(n_t, B, gap, guess, eps_prime)
+    all_nodes = block_nodes + cs_nodes
+    cs_groups_all = group_candidates_by_start(cs_nodes)
+    max_len = int(B / eps_prime)
+
+    def group_payload_entries(groups: Sequence[CsGroup]
+                              ) -> List[Tuple[int, np.ndarray, List[int]]]:
+        return [(st, T[st:min(max(ens), n_t)], list(ens))
+                for st, ens in groups]
+
+    # ---- round 1: representatives --------------------------------------
+    p_rep = min(1.0, config.rep_rate_constant
+                * math.log(max(n, 2)) / params.degree_threshold)
+    rep_mask = rng.random(len(all_nodes)) < p_rep
+    rep_ids = [i for i in range(len(all_nodes)) if rep_mask[i]]
+    if config.max_representatives is not None \
+            and len(rep_ids) > config.max_representatives:
+        rep_ids = sorted(rng.choice(rep_ids,
+                                    size=config.max_representatives,
+                                    replace=False))
+    if not rep_ids:
+        rep_ids = [int(rng.integers(0, len(all_nodes)))]
+
+    # Chunking honours both budgets: input words (strings shipped) and
+    # output words (one distance per (rep, endpoint) pair).
+    in_budget = max(params.memory_limit - 64, 2 * max_len + 2)
+    out_budget = max(params.memory_limit - 64, 8)
+    strings_per_machine = max(4, in_budget // max(max_len, 1))
+    rep_chunk = max(1, strings_per_machine // 2)
+
+    payloads = []
+    layouts: List[Tuple[List[int], List[NodeId], List[CsGroup]]] = []
+    for ri in range(0, len(rep_ids), rep_chunk):
+        rids = rep_ids[ri:ri + rep_chunk]
+        rchunk = [(i, node_string(all_nodes[i], S, T)) for i in rids]
+        rep_words = sum(max(len(a), 1) for _, a in rchunk)
+        first = True
+
+        def flush(gchunk: List[CsGroup], bchunk: List[NodeId]) -> None:
+            payloads.append({
+                "reps": rchunk,
+                "blocks": [(b, node_string(b, S, T)) for b in bchunk],
+                "cs_groups": group_payload_entries(gchunk),
+                "solver": config.rep_solver,
+                "eps_inner": config.eps_inner})
+            layouts.append((rids, list(bchunk), list(gchunk)))
+
+        gchunk: List[CsGroup] = []
+        in_words = rep_words + len(block_nodes) * B
+        out_words = len(rids) * len(block_nodes)
+        for st, ens in cs_groups_all:
+            g_in = max(ens) - st + 4
+            g_out = len(rids) * len(ens)
+            if gchunk and (in_words + g_in > in_budget
+                           or out_words + g_out > out_budget):
+                flush(gchunk, block_nodes if first else [])
+                first = False
+                gchunk, in_words, out_words = [], rep_words, 0
+            gchunk.append((st, ens))
+            in_words += g_in
+            out_words += g_out
+        flush(gchunk, block_nodes if first else [])
+    outs = sim.run_round(f"{round_prefix}/1-representatives",
+                         run_rep_distance_machine, payloads)
+    repdist = RepDistances()
+    for out, (rids, bchunk, gchunk) in zip(outs, layouts):
+        k = 0
+        for rep_idx in rids:
+            for node_id in bchunk:
+                repdist.add(node_id, rep_idx, int(out[k]))
+                k += 1
+            for st, ens in gchunk:
+                for en in ens:
+                    repdist.add(("c", st, en), rep_idx, int(out[k]))
+                    k += 1
+        if k != len(out):  # pragma: no cover - layout invariant
+            raise AssertionError("round-1 output layout mismatch")
+
+    edge_tuples: List[EditTuple] = [
+        (b[1], b[2], u[1], u[2], w)
+        for (b, u), w in repdist.triangle_edges(block_nodes,
+                                                cs_nodes).items()]
+    edge_tuples = _cap_per_block(edge_tuples, config.phase2_top_k)
+
+    # ---- round 2: sampled sparse blocks --------------------------------
+    exponent = (params.y_large - params.y_prime)  # = 0.4x
+    denom = (n ** exponent) * (guess / n)
+    p_low = min(1.0, config.low_rate_constant
+                * (math.log(max(n, 2)) ** 2) / (eps_prime ** 2) / denom) \
+        if denom > 0 else 1.0
+    coins = rng.random(len(block_nodes))
+    sampled = [i for i in range(len(block_nodes)) if coins[i] < p_low]
+    cap_low = config.max_low_degree_samples
+    if cap_low is not None and len(sampled) > cap_low:
+        sampled = sorted(rng.choice(sampled, size=cap_low, replace=False))
+
+    payloads = []
+    layouts2: List[Tuple[int, int, List[CsGroup]]] = []
+    for i in sampled:
+        _, lo, hi = block_nodes[i]
+        mine = [(st, ens) for st, ens in cs_groups_all
+                if abs(st - lo) <= guess]
+        gchunk: List[CsGroup] = []
+        in_words, out_words = B, 0
+        for st, ens in mine:
+            g_in = max(ens) - st + 4
+            g_out = len(ens)
+            if gchunk and (in_words + g_in > in_budget
+                           or out_words + g_out > out_budget):
+                payloads.append({"lo": lo, "hi": hi, "block": S[lo:hi],
+                                 "cs_groups": group_payload_entries(gchunk)})
+                layouts2.append((lo, hi, gchunk))
+                gchunk, in_words, out_words = [], B, 0
+            gchunk.append((st, ens))
+            in_words += g_in
+            out_words += g_out
+        if gchunk:
+            payloads.append({"lo": lo, "hi": hi, "block": S[lo:hi],
+                             "cs_groups": group_payload_entries(gchunk)})
+            layouts2.append((lo, hi, gchunk))
+    outs = sim.run_round(f"{round_prefix}/2-sparse-samples",
+                         run_block_vs_groups_machine, payloads,
+                         allow_empty=True)
+    direct_tuples: List[EditTuple] = []
+    for out, (lo, hi, gchunk) in zip(outs, layouts2):
+        k = 0
+        for st, ens in gchunk:
+            for en in ens:
+                direct_tuples.append((lo, hi, st, en, int(out[k])))
+                k += 1
+
+    # ---- round 3: extension of sparse pairs ----------------------------
+    larger_B = params.larger_block_size
+    degree_cap = config.max_extensions_per_pair_source
+    if degree_cap is None:
+        degree_cap = params.degree_threshold
+    by_block: Dict[int, List[EditTuple]] = {}
+    for t in direct_tuples:
+        by_block.setdefault(t[0], []).append(t)
+    ext_pairs: List[Tuple[int, int, int, int]] = []
+    seen_pairs = set()
+    for i in sampled:
+        _, lo_i, hi_i = block_nodes[i]
+        tau_i = repdist.nearest_rep_distance(block_nodes[i])
+        mine = sorted(by_block.get(lo_i, []), key=lambda t: t[4])
+        # Only thresholds below the rep-coverage point need the sparse
+        # path (at tau >= tau_i the block was handled by a representative),
+        # and a sparse node has at most n^alpha close candidates.
+        sources = [t for t in mine
+                   if tau_i is None or t[4] < tau_i][:degree_cap]
+        group = lo_i // larger_B
+        for (_, _, st, en, d) in sources:
+            for bj in block_nodes:
+                _, lo_j, hi_j = bj
+                if lo_j // larger_B != group or lo_j == lo_i:
+                    continue
+                st_j = max(0, min(st + (lo_j - lo_i), n_t))
+                en_j = max(st_j, min(en + (hi_j - hi_i), n_t))
+                key = (lo_j, hi_j, st_j, en_j)
+                if key not in seen_pairs:
+                    seen_pairs.add(key)
+                    ext_pairs.append(key)
+
+    pairs_per_machine = max(1, params.memory_limit // max(2 * max_len, 1))
+    payloads = []
+    pair_chunks: List[List[Tuple[int, int, int, int]]] = []
+    for pi in range(0, len(ext_pairs), pairs_per_machine):
+        chunk = ext_pairs[pi:pi + pairs_per_machine]
+        pair_chunks.append(chunk)
+        payloads.append({
+            "items": [(lo, hi, S[lo:hi], st, en, T[st:en])
+                      for (lo, hi, st, en) in chunk],
+            "solver": config.rep_solver,
+            "eps_inner": config.eps_inner})
+    outs = sim.run_round(f"{round_prefix}/3-extension",
+                         run_pair_distance_machine, payloads,
+                         allow_empty=True)
+    ext_tuples: List[EditTuple] = []
+    for out, chunk in zip(outs, pair_chunks):
+        for (lo, hi, st, en), d in zip(chunk, out.tolist()):
+            ext_tuples.append((lo, hi, st, en, int(d)))
+
+    # ---- round 4: combining DP ------------------------------------------
+    all_tuples = _cap_per_block(edge_tuples + direct_tuples + ext_tuples,
+                                config.phase2_top_k)
+    bound = sim.run_round(
+        f"{round_prefix}/4-combine", run_edit_combine_machine,
+        [{"tuples": all_tuples, "n_s": n, "n_t": n_t,
+          "allow_overlap": True}])[0]
+    diag = {
+        "n_nodes": len(all_nodes),
+        "n_reps": len(rep_ids),
+        "n_sampled_blocks": len(sampled),
+        "n_edge_tuples": len(edge_tuples),
+        "n_direct_tuples": len(direct_tuples),
+        "n_ext_tuples": len(ext_tuples),
+        "n_tuples": len(all_tuples),
+    }
+    return int(min(bound, n + n_t)), diag

@@ -1,0 +1,19 @@
+"""Extensions beyond the paper's two theorems.
+
+* :mod:`repro.extensions.lcs_mpc` — MPC longest common subsequence (the
+  dual problem, treated by the HSS'19 baseline alongside edit distance).
+* :mod:`repro.extensions.lis_mpc` — MPC longest increasing subsequence
+  (the Ulam dual; cf. Im–Moseley–Sun, discussed in the paper's §1).
+* :mod:`repro.extensions.search` — approximate pattern search (all near
+  matches), sequential and sharded-MPC variants.
+"""
+
+from .lcs_mpc import LcsResult, combine_lcs_tuples, mpc_lcs
+from .lis_mpc import LisResult, combine_lis_tables, mpc_lis
+from .search import (Match, SearchResult, approximate_search,
+                     mpc_approximate_search)
+
+__all__ = ["LcsResult", "combine_lcs_tuples", "mpc_lcs",
+           "LisResult", "combine_lis_tables", "mpc_lis",
+           "Match", "SearchResult", "approximate_search",
+           "mpc_approximate_search"]

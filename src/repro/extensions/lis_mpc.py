@@ -1,0 +1,167 @@
+"""Extension: MPC longest increasing subsequence.
+
+§1 of the paper frames Ulam distance and LIS as dual problems and cites
+Im–Moseley–Sun (STOC'17) for MPC LIS.  This module provides a simple,
+fully-analysed 2-round MPC LIS in the same additive-error regime as our
+LCS extension:
+
+* the value axis is cut into ``K`` buckets at the quantiles of the input
+  (for a permutation of ``[n]``, evenly spaced values) — each bucket
+  holds at most ``⌈n/K⌉`` elements;
+* round 1: one machine per block computes the table
+  ``T[q_in][q_out] = LIS(block elements with value in bucket range
+  (q_in, q_out])`` — ``K²`` patience scans over a block;
+* round 2: a single machine chains blocks with the DP
+  ``L[j][q] = max over q' ≤ q of L[j-1][q'] + T_j[q'][q]``.
+
+A chained solution is a genuine increasing subsequence (consecutive
+blocks use disjoint, increasing value ranges and increasing positions),
+so the result is a certified **lower bound**.  The true LIS loses at most
+one bucket's worth of elements per block boundary (the block's top
+bucket gets rounded down), i.e. at most ``#blocks · ⌈n/K⌉``; with
+``K = ⌈#blocks/ε⌉`` that is an additive ``≤ 2ε·n`` — a ``1-O(ε)``
+multiplicative factor in the large-LIS regime the paper's §1 discusses
+("when the two strings share a large subsequence").
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..mpc.accounting import RunStats, add_work
+from ..mpc.simulator import MPCSimulator
+from ..strings.types import StringLike, as_array
+
+__all__ = ["LisResult", "mpc_lis", "run_lis_block_machine",
+           "combine_lis_tables"]
+
+
+def _patience_length(values: List[int]) -> int:
+    tails: List[int] = []
+    for v in values:
+        pos = bisect_left(tails, v)
+        if pos == len(tails):
+            tails.append(v)
+        else:
+            tails[pos] = v
+    add_work(len(values) + 1)
+    return len(tails)
+
+
+def run_lis_block_machine(payload: Dict[str, object]) -> np.ndarray:
+    """Round-1 machine: the ``K×K`` bucket-range LIS table of one block.
+
+    Returns the table flattened row-major (``q_in`` major); entries with
+    ``q_out < q_in`` are zero.
+    """
+    block: np.ndarray = payload["block"]         # type: ignore
+    bounds: np.ndarray = payload["bounds"]       # type: ignore
+    K = len(bounds) - 1
+    vals = block.tolist()
+    table = np.zeros((K, K), dtype=np.int64)
+    for q_in in range(K):
+        lo_v = bounds[q_in]
+        for q_out in range(q_in, K):
+            hi_v = bounds[q_out + 1]
+            filtered = [v for v in vals if lo_v < v <= hi_v]
+            table[q_in, q_out] = _patience_length(filtered)
+    return table.reshape(-1)
+
+
+def combine_lis_tables(tables: List[np.ndarray], K: int) -> int:
+    """Round-2 DP: chain block tables over monotone bucket states."""
+    state = np.zeros(K + 1, dtype=np.int64)  # state[q] = best ending ≤ q
+    for flat in tables:
+        table = flat.reshape(K, K)
+        add_work(K * K)
+        nxt = state.copy()
+        for q_out in range(K):
+            # best prefix state with boundary q' ≤ q_in, extended by the
+            # block's (q', q_out] range
+            best = 0
+            for q_in in range(q_out + 1):
+                cand = state[q_in] + int(table[q_in, q_out])
+                if cand > best:
+                    best = cand
+            if best > nxt[q_out + 1]:
+                nxt[q_out + 1] = best
+        np.maximum.accumulate(nxt, out=nxt)
+        state = nxt
+    return int(state[-1])
+
+
+def _run_combine(payload: Dict[str, object]) -> int:
+    return combine_lis_tables(payload["tables"],   # type: ignore
+                              int(payload["K"]))
+
+
+@dataclass
+class LisResult:
+    """Outcome of one MPC LIS execution."""
+
+    lis: int
+    n: int
+    x: float
+    eps: float
+    n_buckets: int
+    stats: RunStats
+
+    def summary(self) -> Dict[str, object]:
+        out = {"lis": self.lis, "n": self.n, "x": self.x,
+               "eps": self.eps, "n_buckets": self.n_buckets}
+        out.update(self.stats.summary())
+        return out
+
+
+def mpc_lis(seq: StringLike, x: float = 0.25, eps: float = 0.25,
+            sim: Optional[MPCSimulator] = None) -> LisResult:
+    """Approximate ``LIS(seq)`` in two MPC rounds.
+
+    ``seq`` must be duplicate-free (the LIS/Ulam setting).  Returns a
+    certified lower bound with additive error at most ``2ε·n``.
+    """
+    S = as_array(seq)
+    n = len(S)
+    if n == 0:
+        return LisResult(lis=0, n=0, x=x, eps=eps, n_buckets=0,
+                         stats=RunStats())
+    if not 0 < x < 1:
+        raise ValueError("x must lie in (0, 1)")
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    if len(np.unique(S)) != n:
+        raise ValueError("mpc_lis requires a duplicate-free sequence")
+
+    B = max(1, int(round(n ** (1 - x))))
+    n_blocks = -(-n // B)
+    K = max(1, math.ceil(n_blocks / eps))
+    # Quantile boundaries of the observed values: bucket q is
+    # (bounds[q], bounds[q+1]], each holding <= ceil(n/K) elements.
+    # (Input formatting, like the position tables of the Ulam driver.)
+    sorted_vals = np.sort(S)
+    idx = np.linspace(0, n, K + 1).astype(int)
+    bounds = np.empty(K + 1, dtype=np.int64)
+    bounds[0] = int(sorted_vals[0]) - 1
+    for q in range(1, K + 1):
+        j = min(int(idx[q]), n)
+        # an empty leading bucket keeps the floor boundary (j == 0 must
+        # not wrap around to the largest value)
+        bounds[q] = int(sorted_vals[j - 1]) if j > 0 else bounds[0]
+    polylog = max(math.log2(max(n, 2)), 1.0)
+    memory_limit = int(8 * (B + K * K) * polylog) + 64
+    if sim is None:
+        sim = MPCSimulator(memory_limit=memory_limit)
+
+    payloads = [{"block": S[lo:min(lo + B, n)], "bounds": bounds}
+                for lo in range(0, n, B)]
+    tables = sim.run_round("lis/1-block-tables", run_lis_block_machine,
+                           payloads)
+    value = sim.run_round("lis/2-combine", _run_combine,
+                          [{"tables": tables, "K": K}])[0]
+    return LisResult(lis=int(value), n=n, x=x, eps=eps, n_buckets=K,
+                     stats=sim.stats)

@@ -1,0 +1,139 @@
+"""Extension: approximate pattern search (all near matches of a pattern).
+
+``approximate_search(pattern, text, k)`` reports every *locally optimal*
+window of ``text`` within edit distance ``k`` of ``pattern`` — the
+classic Sellers/Ukkonen formulation built on the same fitting-alignment
+row the `lulam` machinery uses, plus an MPC wrapper that shards the text
+across machines with overlapping borders (so no match is lost at a shard
+boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..mpc.accounting import RunStats
+from ..mpc.simulator import MPCSimulator
+from ..strings.edit_distance import levenshtein_last_row
+from ..strings.fitting import fitting_last_row
+from ..strings.types import StringLike, as_array
+
+__all__ = ["Match", "approximate_search", "mpc_approximate_search",
+           "SearchResult"]
+
+
+@dataclass(frozen=True)
+class Match:
+    """One approximate occurrence: ``text[start:end]`` at distance
+    ``distance ≤ k``."""
+
+    start: int
+    end: int
+    distance: int
+
+    def __mpc_size__(self) -> int:
+        """Three words + framing when shipped between machines."""
+        return 4
+
+
+def approximate_search(pattern: StringLike, text: StringLike,
+                       k: int) -> List[Match]:
+    """All locally-optimal matches of *pattern* in *text* within ``k``.
+
+    An end position ``j`` is reported when ``D[j] ≤ k`` and ``D[j]`` is a
+    local minimum of the fitting-DP row (runs of equal values collapse to
+    their last index), so overlapping shifts of the same hit do not spam
+    the output.  Start positions are recovered with the reverse-prefix
+    pass.  ``O(|pattern|·|text|)`` work.
+    """
+    P, T = as_array(pattern), as_array(text)
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    m, n = len(P), len(T)
+    if m == 0:
+        return [Match(0, 0, 0)] if k >= 0 else []
+    row = fitting_last_row(P, T)
+    # locally optimal ends: D[j] <= k and j is the last index of a
+    # valley bottom (next value strictly larger, previous no smaller)
+    big = int(row.max()) + k + 1
+    ends: List[int] = []
+    for j in range(n + 1):
+        v = int(row[j])
+        if v > k:
+            continue
+        nxt = int(row[j + 1]) if j < n else big
+        prv = int(row[j - 1]) if j > 0 else big
+        if nxt > v and prv >= v:
+            ends.append(j)
+    matches: List[Match] = []
+    for j in ends:
+        d = int(row[j])
+        rev = levenshtein_last_row(P[::-1], T[:j][::-1])
+        jr = int(np.argmin(rev))
+        matches.append(Match(start=j - jr, end=j, distance=d))
+    return matches
+
+
+def _run_shard(payload: Dict[str, object]) -> List[Match]:
+    pattern: np.ndarray = payload["pattern"]      # type: ignore
+    shard: np.ndarray = payload["shard"]          # type: ignore
+    off = int(payload["offset"])
+    k = int(payload["k"])
+    lo_valid = int(payload["lo_valid"])
+    hi_valid = int(payload["hi_valid"])
+    out = []
+    for match in approximate_search(pattern, shard, k):
+        end = match.end + off
+        # report a hit to the shard that owns its end position, so
+        # border-overlapping duplicates collapse deterministically
+        if lo_valid <= end < hi_valid or (end == hi_valid and
+                                          hi_valid == int(payload["n_t"])):
+            out.append(Match(match.start + off, end, match.distance))
+    return out
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a distributed approximate search."""
+
+    matches: List[Match]
+    stats: RunStats
+
+
+def mpc_approximate_search(pattern: StringLike, text: StringLike, k: int,
+                           shard_size: Optional[int] = None,
+                           sim: Optional[MPCSimulator] = None
+                           ) -> SearchResult:
+    """Shard *text* across machines with ``|pattern| + k`` borders.
+
+    Any window within distance ``k`` has length at most ``|pattern| + k``,
+    so extending each shard by that margin guarantees every match lies
+    wholly inside some shard; each match is reported by the shard owning
+    its end position (no duplicates).  One round.
+    """
+    P, T = as_array(pattern), as_array(text)
+    m, n = len(P), len(T)
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    shard_size = shard_size or max(4 * (m + k + 1),
+                                   int(np.ceil(np.sqrt(max(n, 1)) * 4)))
+    margin = m + k
+    if sim is None:
+        sim = MPCSimulator(memory_limit=8 * (shard_size + 2 * margin
+                                             + m) + 64)
+    payloads = []
+    for lo in range(0, max(n, 1), shard_size):
+        hi = min(lo + shard_size, n)
+        slo = max(lo - margin, 0)
+        shi = min(hi + margin, n)
+        payloads.append({
+            "pattern": P, "shard": T[slo:shi], "offset": slo,
+            "k": k, "lo_valid": lo, "hi_valid": hi, "n_t": n,
+        })
+    outs = sim.run_round("search/shards", _run_shard, payloads)
+    matches = sorted({m for out in outs for m in out},
+                     key=lambda m: (m.end, m.start))
+    return SearchResult(matches=matches, stats=sim.stats)

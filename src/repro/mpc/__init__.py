@@ -1,0 +1,31 @@
+"""MPC (massively parallel computation) simulation substrate.
+
+This package provides the execution model every algorithm in the
+repository runs on: BSP rounds over memory-capped machines with full
+resource accounting (rounds, machines, per-machine memory, total work and
+critical-path work).  See DESIGN.md §2 and §5 for the measurement
+conventions.
+"""
+
+from .accounting import (RoundStats, RunStats, WorkMeter, add_work,
+                         isolated_meters)
+from .errors import MemoryLimitExceeded, MPCError, RoundProtocolError
+from .executor import Executor, ProcessPoolExecutor, SerialExecutor
+from .machine import MachineResult, MachineTask, execute_task
+from .partition import block_of, blocks, chunk, pack_by_weight
+from .simulator import MPCSimulator
+from .sizeof import sizeof
+from .trace import (load_run_stats, run_stats_from_dict,
+                    run_stats_to_dict, save_run_stats)
+from .utils import distributed_equal
+
+__all__ = [
+    "RoundStats", "RunStats", "WorkMeter", "add_work",
+    "MemoryLimitExceeded", "MPCError", "RoundProtocolError",
+    "Executor", "ProcessPoolExecutor", "SerialExecutor",
+    "MachineResult", "MachineTask", "execute_task",
+    "block_of", "blocks", "chunk", "pack_by_weight",
+    "MPCSimulator", "sizeof",
+    "load_run_stats", "run_stats_from_dict", "run_stats_to_dict",
+    "save_run_stats", "isolated_meters", "distributed_equal",
+]

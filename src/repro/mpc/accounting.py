@@ -1,0 +1,221 @@
+"""Work metering and per-round/per-run resource statistics.
+
+The paper states its results in terms of *total computation* (the sum of
+the running times of all machines) and *parallel running time* (the
+critical path: the sum over rounds of the slowest machine in each round).
+Wall-clock time of a Python interpreter is a poor proxy for those
+quantities — NumPy-vectorised kernels and pure-Python loops differ by two
+orders of magnitude for the same abstract work — so the string kernels
+report *abstract work units* (DP cells computed, comparisons made) through
+a :class:`WorkMeter`.
+
+A meter is activated with a context manager and collected through a
+module-level stack, so deeply nested kernels do not need a threaded-through
+parameter::
+
+    with WorkMeter() as meter:
+        levenshtein(a, b)        # kernels call add_work(...) internally
+    meter.total                  # abstract work units
+
+Meters nest: inner meters also charge all enclosing meters, which lets the
+simulator meter a whole round while a machine meters itself.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["WorkMeter", "add_work", "RoundStats", "RunStats"]
+
+_local = threading.local()
+
+
+def _stack() -> List["WorkMeter"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+def add_work(units: int) -> None:
+    """Charge *units* of abstract work to every active :class:`WorkMeter`.
+
+    Cheap no-op when no meter is active, so kernels can call it
+    unconditionally.
+    """
+    for meter in _stack():
+        meter.total += units
+
+
+class isolated_meters:
+    """Context manager: suspend all enclosing meters.
+
+    Machine execution uses this so a machine's work is charged to *its
+    own* meter only; the simulator then propagates the reported total to
+    enclosing meters explicitly — identically under serial and
+    process-pool executors (where enclosing meters live in another
+    process and could never be charged implicitly).
+    """
+
+    def __enter__(self) -> "isolated_meters":
+        stack = _stack()
+        self._saved = stack[:]
+        stack.clear()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _stack()[:] = self._saved
+
+
+class WorkMeter:
+    """Accumulates abstract work units charged via :func:`add_work`."""
+
+    __slots__ = ("total",)
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    def __enter__(self) -> "WorkMeter":
+        _stack().append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _stack().remove(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkMeter(total={self.total})"
+
+
+@dataclass
+class RoundStats:
+    """Resource usage of one MPC round.
+
+    ``machines`` counts machine invocations; the remaining fields are in
+    MPC words (:func:`repro.mpc.sizeof.sizeof`) or abstract work units.
+    """
+
+    name: str
+    machines: int = 0
+    max_input_words: int = 0
+    max_output_words: int = 0
+    total_input_words: int = 0
+    total_output_words: int = 0
+    max_work: int = 0
+    total_work: int = 0
+    wall_seconds: float = 0.0
+
+    def observe_machine(self, input_words: int, output_words: int,
+                        work: int) -> None:
+        """Fold one machine's usage into the round statistics."""
+        self.machines += 1
+        self.max_input_words = max(self.max_input_words, input_words)
+        self.max_output_words = max(self.max_output_words, output_words)
+        self.total_input_words += input_words
+        self.total_output_words += output_words
+        self.max_work = max(self.max_work, work)
+        self.total_work += work
+
+
+@dataclass
+class RunStats:
+    """Aggregated statistics of a full MPC execution (several rounds)."""
+
+    rounds: List[RoundStats] = field(default_factory=list)
+
+    @property
+    def n_rounds(self) -> int:
+        """Number of communication rounds executed."""
+        return len(self.rounds)
+
+    @property
+    def max_machines(self) -> int:
+        """Largest number of machines used in any single round.
+
+        This is the paper's "# machines" column: machines can be reused
+        between rounds, so the requirement is the per-round maximum.
+        """
+        return max((r.machines for r in self.rounds), default=0)
+
+    @property
+    def total_machine_invocations(self) -> int:
+        """Sum of machine invocations across all rounds."""
+        return sum(r.machines for r in self.rounds)
+
+    @property
+    def max_memory_words(self) -> int:
+        """Largest input/output held by any machine in any round."""
+        return max(
+            (max(r.max_input_words, r.max_output_words) for r in self.rounds),
+            default=0)
+
+    @property
+    def total_work(self) -> int:
+        """Total computation: abstract work summed over all machines."""
+        return sum(r.total_work for r in self.rounds)
+
+    @property
+    def parallel_work(self) -> int:
+        """Critical-path work: sum over rounds of the slowest machine."""
+        return sum(r.max_work for r in self.rounds)
+
+    @property
+    def total_communication_words(self) -> int:
+        """Total words shipped out of machines between rounds."""
+        return sum(r.total_output_words for r in self.rounds)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock time spent executing rounds."""
+        return sum(r.wall_seconds for r in self.rounds)
+
+    def merge(self, other: "RunStats") -> "RunStats":
+        """Concatenate two runs (used when sub-algorithms run in parallel).
+
+        Rounds with the same name are merged positionally as if the two
+        executions shared the same barrier schedule: machine counts and
+        work add up, memory maxima combine by ``max``.
+        """
+        merged = RunStats()
+        longer, shorter = (self.rounds, other.rounds)
+        if len(shorter) > len(longer):
+            longer, shorter = shorter, longer
+        for i, r in enumerate(longer):
+            combined = RoundStats(name=r.name)
+            combined.machines = r.machines
+            combined.max_input_words = r.max_input_words
+            combined.max_output_words = r.max_output_words
+            combined.total_input_words = r.total_input_words
+            combined.total_output_words = r.total_output_words
+            combined.max_work = r.max_work
+            combined.total_work = r.total_work
+            combined.wall_seconds = r.wall_seconds
+            if i < len(shorter):
+                o = shorter[i]
+                combined.machines += o.machines
+                combined.max_input_words = max(combined.max_input_words,
+                                               o.max_input_words)
+                combined.max_output_words = max(combined.max_output_words,
+                                                o.max_output_words)
+                combined.total_input_words += o.total_input_words
+                combined.total_output_words += o.total_output_words
+                combined.max_work = max(combined.max_work, o.max_work)
+                combined.total_work += o.total_work
+                combined.wall_seconds = max(combined.wall_seconds,
+                                            o.wall_seconds)
+            merged.rounds.append(combined)
+        return merged
+
+    def summary(self) -> dict:
+        """Return the headline numbers as a plain dict (for reports)."""
+        return {
+            "rounds": self.n_rounds,
+            "max_machines": self.max_machines,
+            "max_memory_words": self.max_memory_words,
+            "total_work": self.total_work,
+            "parallel_work": self.parallel_work,
+            "total_communication_words": self.total_communication_words,
+            "wall_seconds": round(self.wall_seconds, 6),
+        }

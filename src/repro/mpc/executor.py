@@ -1,0 +1,86 @@
+"""Executors: how the machines of one round actually run.
+
+The MPC model is agnostic about the physical mapping of machines to
+hardware; what matters is that machines within a round cannot communicate.
+Both executors below preserve that semantics:
+
+* :class:`SerialExecutor` runs machines one after another in-process.  It
+  is deterministic, debuggable, and what the test-suite uses.
+* :class:`ProcessPoolExecutor` fans machines out over OS processes (the
+  closest single-host analogue of an mpi4py ``scatter``/``gather`` cycle,
+  cf. the mpi4py tutorial idioms).  Payloads and results are pickled, so
+  machine functions must be top-level callables.
+
+Executors only run tasks; all memory enforcement and accounting lives in
+:class:`repro.mpc.simulator.MPCSimulator` so that both executors are
+measured identically.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import List, Sequence
+
+from .machine import MachineResult, MachineTask, execute_task
+
+__all__ = ["Executor", "SerialExecutor", "ProcessPoolExecutor"]
+
+
+class Executor:
+    """Interface: run a round's tasks and return results in task order."""
+
+    def run(self, tasks: Sequence[MachineTask]) -> List[MachineResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources.  Default: nothing to do."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run every machine in the current process, sequentially."""
+
+    def run(self, tasks: Sequence[MachineTask]) -> List[MachineResult]:
+        return [execute_task(task) for task in tasks]
+
+
+class ProcessPoolExecutor(Executor):
+    """Run machines of a round concurrently across OS processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of worker processes.  Defaults to ``os.cpu_count()``.
+    chunksize:
+        Tasks per pickled batch; larger values amortise IPC overhead for
+        many small machines.
+    """
+
+    def __init__(self, max_workers: int | None = None,
+                 chunksize: int = 4) -> None:
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self.chunksize = chunksize
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers)
+        return self._pool
+
+    def run(self, tasks: Sequence[MachineTask]) -> List[MachineResult]:
+        if not tasks:
+            return []
+        pool = self._ensure_pool()
+        return list(pool.map(execute_task, tasks, chunksize=self.chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None

@@ -1,0 +1,60 @@
+"""Machine task abstraction for the BSP round simulator.
+
+A *machine task* is the unit of per-round work: a top-level callable plus
+the payload that was routed to that machine during the preceding shuffle.
+Keeping tasks as plain ``(callable, payload)`` pairs (rather than stateful
+machine objects) matches the MPC model — machines are stateless between
+rounds except for the data explicitly re-sent to them — and keeps tasks
+picklable for the process-pool executor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .accounting import WorkMeter, isolated_meters
+
+__all__ = ["MachineTask", "MachineResult", "execute_task"]
+
+
+@dataclass(frozen=True)
+class MachineTask:
+    """One machine's assignment for a round.
+
+    Attributes
+    ----------
+    fn:
+        A *top-level* callable (so it can be pickled by the process-pool
+        executor).  It receives ``payload`` as its only argument and
+        returns the machine's output message.
+    payload:
+        The data shipped to this machine.  Its word size is checked
+        against the per-machine memory limit before execution.
+    """
+
+    fn: Callable[[Any], Any]
+    payload: Any
+
+
+@dataclass
+class MachineResult:
+    """Output of one machine plus its local resource usage."""
+
+    output: Any
+    work: int
+    wall_seconds: float
+
+
+def execute_task(task: MachineTask) -> MachineResult:
+    """Run one machine task, metering its abstract work and wall time.
+
+    This function is the process-pool entry point, so it must stay
+    top-level and picklable.
+    """
+    start = time.perf_counter()
+    with isolated_meters(), WorkMeter() as meter:
+        output = task.fn(task.payload)
+    return MachineResult(output=output, work=meter.total,
+                         wall_seconds=time.perf_counter() - start)

@@ -1,0 +1,143 @@
+"""BSP round simulator with enforced per-machine memory caps.
+
+:class:`MPCSimulator` is the substrate every algorithm in this repository
+runs on.  One call to :meth:`MPCSimulator.run_round` corresponds to one MPC
+round: a set of machines each receives a payload (checked against the
+memory limit), computes locally, and emits an output (also checked).  The
+simulator records, per round, exactly the quantities Table 1 of the paper
+is stated in: machine count, per-machine memory, total and critical-path
+work.
+
+Typical usage::
+
+    sim = MPCSimulator(memory_limit=4 * n_pow)          # words
+    outputs = sim.run_round("phase-1", fn, payloads)
+    ...
+    sim.stats.summary()
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+from .accounting import RoundStats, RunStats, add_work
+from .errors import MemoryLimitExceeded, RoundProtocolError
+from .executor import Executor, SerialExecutor
+from .machine import MachineTask
+from .sizeof import sizeof
+
+__all__ = ["MPCSimulator"]
+
+
+class MPCSimulator:
+    """Simulates a fleet of memory-capped machines executing BSP rounds.
+
+    Parameters
+    ----------
+    memory_limit:
+        Per-machine memory cap in MPC words (``None`` disables the cap —
+        useful for ground-truth baselines that deliberately ignore the
+        model, e.g. the single-machine exact DP).
+    executor:
+        How machines within a round run; defaults to
+        :class:`repro.mpc.executor.SerialExecutor`.
+    strict:
+        When ``True`` (default), memory violations raise
+        :class:`~repro.mpc.errors.MemoryLimitExceeded`.  When ``False``
+        violations are recorded in :attr:`violations` but execution
+        continues — handy for exploratory parameter sweeps.
+    """
+
+    def __init__(self, memory_limit: Optional[int] = None,
+                 executor: Optional[Executor] = None,
+                 strict: bool = True) -> None:
+        self.memory_limit = memory_limit
+        self.executor = executor or SerialExecutor()
+        self.strict = strict
+        self.stats = RunStats()
+        self.violations: List[MemoryLimitExceeded] = []
+
+    # ------------------------------------------------------------------
+    def _check(self, round_name: str, index: int, direction: str,
+               words: int) -> None:
+        if self.memory_limit is None or words <= self.memory_limit:
+            return
+        err = MemoryLimitExceeded(round_name, index, direction, words,
+                                  self.memory_limit)
+        if self.strict:
+            raise err
+        self.violations.append(err)
+
+    # ------------------------------------------------------------------
+    def run_round(self, name: str, fn: Callable[[Any], Any],
+                  payloads: Sequence[Any],
+                  allow_empty: bool = False) -> List[Any]:
+        """Execute one MPC round.
+
+        Every element of *payloads* is routed to its own machine, which
+        runs ``fn(payload)``.  Returns the machine outputs in payload
+        order.
+
+        Parameters
+        ----------
+        name:
+            Round label used in statistics and error messages.
+        fn:
+            Top-level callable executed by each machine.
+        payloads:
+            One payload per machine.  Each payload and each output is
+            measured with :func:`repro.mpc.sizeof.sizeof` and checked
+            against the memory limit.
+        allow_empty:
+            Permit a round with zero machines (otherwise a protocol
+            error, because a zero-machine round is almost always a bug in
+            the driver).
+        """
+        payloads = list(payloads)
+        if not payloads and not allow_empty:
+            raise RoundProtocolError(
+                f"round {name!r} was scheduled with zero machines")
+
+        round_stats = RoundStats(name=name)
+        input_sizes = []
+        for i, payload in enumerate(payloads):
+            words = sizeof(payload)
+            self._check(name, i, "input", words)
+            input_sizes.append(words)
+
+        start = time.perf_counter()
+        results = self.executor.run(
+            [MachineTask(fn=fn, payload=p) for p in payloads])
+        round_stats.wall_seconds = time.perf_counter() - start
+
+        outputs: List[Any] = []
+        for i, result in enumerate(results):
+            out_words = sizeof(result.output)
+            self._check(name, i, "output", out_words)
+            round_stats.observe_machine(input_sizes[i], out_words,
+                                        result.work)
+            # Propagate machine work to any meter enclosing the simulator
+            # itself, so ``with WorkMeter() as m: algo(sim)`` sees the whole
+            # computation even under a process-pool executor.
+            add_work(result.work)
+            outputs.append(result.output)
+
+        self.stats.rounds.append(round_stats)
+        return outputs
+
+    # ------------------------------------------------------------------
+    def spawn(self) -> "MPCSimulator":
+        """Create a sibling simulator sharing limits/executor but not stats.
+
+        Used by drivers that explore several parameter guesses "in
+        parallel" (the paper's ``n^δ`` guessing): each guess runs on its
+        own simulator and the driver merges the statistics afterwards.
+        """
+        return MPCSimulator(memory_limit=self.memory_limit,
+                            executor=self.executor, strict=self.strict)
+
+    def absorb(self, other: "MPCSimulator") -> None:
+        """Merge a sibling simulator's rounds as if run concurrently."""
+        self.stats = self.stats.merge(other.stats)
+        self.violations.extend(other.violations)

@@ -1,0 +1,67 @@
+"""Word-size accounting for MPC machine inputs and outputs.
+
+The MPC model measures memory in *words*: one word per character of a
+string, one word per integer.  :func:`sizeof` implements that convention
+recursively over the Python objects we ship between machines, so the
+simulator can enforce the ``Õ_ε(n^(1-x))`` per-machine cap of the paper.
+
+Conventions
+-----------
+* ``int`` / ``float`` / ``bool`` / ``None`` — 1 word.
+* ``str`` / ``bytes`` — one word per character/byte.
+* ``numpy.ndarray`` — one word per element.
+* containers (``list`` / ``tuple`` / ``set`` / ``frozenset`` / ``dict``) —
+  the sum of their elements plus one word of framing overhead.
+* any object exposing ``__mpc_size__()`` — whatever that method returns.
+
+The framing word for containers keeps the measure monotone: wrapping data
+in more structure can only make it (slightly) bigger, never smaller.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["sizeof"]
+
+_SCALAR_TYPES = (int, float, bool, complex)
+
+
+def sizeof(obj: Any) -> int:
+    """Return the size of *obj* in MPC words.
+
+    Parameters
+    ----------
+    obj:
+        Any of the payload types shipped between simulated machines.
+
+    Raises
+    ------
+    TypeError
+        If *obj* (or a nested element) is of a type without a defined word
+        size.  This is intentional: silently guessing a size would make the
+        memory-cap enforcement meaningless.
+    """
+    if obj is None:
+        return 1
+    # Give user types the first say so they can override the defaults.
+    mpc_size = getattr(obj, "__mpc_size__", None)
+    if mpc_size is not None:
+        return int(mpc_size())
+    if isinstance(obj, _SCALAR_TYPES):
+        return 1
+    if isinstance(obj, np.generic):
+        return 1
+    if isinstance(obj, (str, bytes, bytearray)):
+        return max(len(obj), 1)
+    if isinstance(obj, np.ndarray):
+        return max(int(obj.size), 1)
+    if isinstance(obj, dict):
+        return 1 + sum(sizeof(k) + sizeof(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 1 + sum(sizeof(item) for item in obj)
+    raise TypeError(
+        f"no MPC word size defined for object of type {type(obj).__name__}; "
+        "add an __mpc_size__() method or use a supported container")

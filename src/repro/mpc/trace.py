@@ -1,0 +1,55 @@
+"""Run-ledger serialisation: export/import measured MPC executions.
+
+Benchmark pipelines and notebooks want the per-round ledger as data, not
+as Python objects; this module round-trips :class:`RunStats` through
+plain dicts / JSON files so experiment results can be archived next to
+``benchmarks/results/`` and re-plotted without re-running.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Union
+
+from .accounting import RoundStats, RunStats
+
+__all__ = ["run_stats_to_dict", "run_stats_from_dict", "save_run_stats",
+           "load_run_stats"]
+
+_ROUND_FIELDS = ("name", "machines", "max_input_words",
+                 "max_output_words", "total_input_words",
+                 "total_output_words", "max_work", "total_work",
+                 "wall_seconds")
+
+
+def run_stats_to_dict(stats: RunStats) -> Dict[str, object]:
+    """Full ledger (per-round detail + the summary block) as plain data."""
+    return {
+        "summary": stats.summary(),
+        "rounds": [{f: getattr(r, f) for f in _ROUND_FIELDS}
+                   for r in stats.rounds],
+    }
+
+
+def run_stats_from_dict(data: Dict[str, object]) -> RunStats:
+    """Inverse of :func:`run_stats_to_dict` (summary is recomputed)."""
+    rounds: List[RoundStats] = []
+    for rd in data["rounds"]:              # type: ignore[index]
+        r = RoundStats(name=str(rd["name"]))
+        for f in _ROUND_FIELDS[1:]:
+            setattr(r, f, type(getattr(r, f))(rd[f]))
+        rounds.append(r)
+    return RunStats(rounds=rounds)
+
+
+def save_run_stats(stats: RunStats,
+                   path: Union[str, pathlib.Path]) -> None:
+    """Write the ledger to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(run_stats_to_dict(stats), indent=2, sort_keys=True))
+
+
+def load_run_stats(path: Union[str, pathlib.Path]) -> RunStats:
+    """Read a ledger written by :func:`save_run_stats`."""
+    return run_stats_from_dict(json.loads(pathlib.Path(path).read_text()))

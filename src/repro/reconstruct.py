@@ -1,0 +1,150 @@
+"""Transformation recovery: turn an MPC run's tuples into an edit script.
+
+The combining DPs (Algorithm 2 / Algorithm 4) select a monotone chain of
+``⟨block, window, distance⟩`` tuples; this module re-runs the DP with
+parent tracking, then stitches a full edit script: per-tuple scripts from
+the exact aligner on the (short) block/window substrings, gap scripts for
+the unaligned regions between tuples.
+
+The recovered script is an explicit transformation of ``s`` into ``t``
+whose cost equals the DP value — i.e. the same certified upper bound the
+drivers report, now as an actionable operation list.  (The large-distance
+overlap rule is not supported: overlapping windows do not decompose into
+position-disjoint scripts.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .mpc.accounting import add_work
+from .strings.edit_distance import levenshtein_script
+from .strings.transform import EditOp, gap_script
+from .strings.types import INF, StringLike, as_array
+
+__all__ = ["chain_tuples", "chain_script", "ulam_script", "edit_script"]
+
+Tuple5 = Tuple[int, int, int, int, int]
+
+
+def chain_tuples(tuples: Sequence[Tuple5], n_s: int, n_t: int,
+                 mode: str = "max") -> Tuple[int, List[Tuple5]]:
+    """Optimal monotone chain of tuples (the combining DP with parents).
+
+    Returns ``(cost, chain)`` where ``chain`` is the selected tuples in
+    order; an empty chain means the trivial transformation won.  Matches
+    :func:`repro.ulam.combine.combine_tuples` /
+    :func:`repro.editdistance.combine.combine_edit_tuples`
+    (non-overlapping variant) exactly.
+    """
+    if mode not in ("max", "sum"):
+        raise ValueError(f"unknown gap mode {mode!r}")
+    empty_chain = max(n_s, n_t) if mode == "max" else n_s + n_t
+    if not tuples:
+        return empty_chain, []
+
+    order = sorted(range(len(tuples)),
+                   key=lambda a: (tuples[a][0], tuples[a][2]))
+    ts = [tuples[a] for a in order]
+    L = np.array([t[0] for t in ts], dtype=np.int64)
+    R = np.array([t[1] for t in ts], dtype=np.int64)
+    SP = np.array([t[2] for t in ts], dtype=np.int64)
+    EP = np.array([t[3] for t in ts], dtype=np.int64)
+    D = np.array([t[4] for t in ts], dtype=np.int64)
+    m = len(ts)
+    add_work(m * m)
+
+    best = np.empty(m, dtype=np.int64)
+    parent = np.full(m, -1, dtype=np.int64)
+    for a in range(m):
+        if mode == "max":
+            head = max(L[a], SP[a])
+        else:
+            head = L[a] + SP[a]
+        value = head + D[a]
+        if a > 0:
+            ok = (R[:a] <= L[a]) & (EP[:a] <= SP[a])
+            if ok.any():
+                gs = L[a] - R[:a]
+                gt = SP[a] - EP[:a]
+                gap = np.maximum(gs, gt) if mode == "max" else gs + gt
+                cand = np.where(ok, best[:a] + gap, INF)
+                k = int(cand.argmin())
+                if int(cand[k]) + int(D[a]) < value:
+                    value = int(cand[k]) + int(D[a])
+                    parent[a] = k
+        best[a] = value
+    if mode == "max":
+        tails = np.maximum(n_s - R, n_t - EP)
+    else:
+        tails = (n_s - R) + (n_t - EP)
+    totals = best + tails
+    a_best = int(totals.argmin())
+    cost = int(totals[a_best])
+    if cost >= empty_chain:
+        return empty_chain, []
+    chain: List[Tuple5] = []
+    a = a_best
+    while a != -1:
+        chain.append(ts[a])
+        a = int(parent[a])
+    chain.reverse()
+    return cost, chain
+
+
+def chain_script(s: StringLike, t: StringLike,
+                 chain: Sequence[Tuple5],
+                 mode: str = "max") -> List[EditOp]:
+    """Stitch a full edit script from a monotone tuple chain.
+
+    Tuple segments use the exact aligner on the substrings (so the
+    per-tuple script cost is *at most* the tuple's recorded distance);
+    gaps use :func:`repro.strings.transform.gap_script`.  The script's
+    total cost therefore never exceeds the chain's DP cost.
+    """
+    S, T = as_array(s), as_array(t)
+    ops: List[EditOp] = []
+    cur_s, cur_t = 0, 0
+    for (lo, hi, sp, ep, _d) in chain:
+        if lo < cur_s or sp < cur_t:
+            raise ValueError("chain is not monotone / non-overlapping")
+        ops.extend(gap_script(cur_s, lo, cur_t, sp, mode=mode))
+        _, seg_ops = levenshtein_script(S[lo:hi], T[sp:ep])
+        ops.extend((kind, i + lo, j + sp) for kind, i, j in seg_ops)
+        cur_s, cur_t = hi, ep
+    ops.extend(gap_script(cur_s, len(S), cur_t, len(T), mode=mode))
+    return ops
+
+
+def ulam_script(s: StringLike, t: StringLike, result
+                ) -> Tuple[int, List[EditOp]]:
+    """Edit script for an :class:`repro.ulam.UlamResult`.
+
+    Requires the result to have been produced with ``keep_tuples=True``.
+    Returns ``(cost, ops)`` with ``cost == len(ops) <= result.distance``
+    (re-aligning tuple substrings exactly can only improve on the
+    recorded distances).
+    """
+    if result.tuples is None:
+        raise ValueError("run mpc_ulam with keep_tuples=True to "
+                         "reconstruct a script")
+    S, T = as_array(s), as_array(t)
+    _, chain = chain_tuples(result.tuples, len(S), len(T), mode="max")
+    ops = chain_script(S, T, chain, mode="max")
+    return len(ops), ops
+
+
+def edit_script(s: StringLike, t: StringLike,
+                tuples: Sequence[Tuple5]) -> Tuple[int, List[EditOp]]:
+    """Edit script from small-regime edit-distance tuples (Algorithm 4).
+
+    ``tuples`` are ``⟨block, window, distance⟩`` entries, e.g. collected
+    from a custom run of
+    :func:`repro.editdistance.small.small_distance_upper_bound`.
+    """
+    S, T = as_array(s), as_array(t)
+    _, chain = chain_tuples(tuples, len(S), len(T), mode="sum")
+    ops = chain_script(S, T, chain, mode="sum")
+    return len(ops), ops

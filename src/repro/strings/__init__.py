@@ -1,0 +1,39 @@
+"""Exact and approximate string-distance kernels.
+
+These are the sequential building blocks every MPC machine executes
+locally: Wagner–Fischer and banded edit distance, fitting (substring)
+alignment, LIS/LCS, the sparse Ulam-distance chain DP, and the CGKS-style
+approximate inner solver.
+"""
+
+from .approx import (InnerSolver, cgks_edit_upper_bound, geometric_offsets,
+                     make_inner)
+from .banded import levenshtein_banded, levenshtein_doubling, within_threshold
+from .bitparallel import myers_fitting_row, myers_last_row, myers_levenshtein
+from .edit_distance import (hamming, levenshtein, levenshtein_last_row,
+                            levenshtein_script)
+from .fitting import fitting_alignment, fitting_distance, fitting_last_row
+from .hirschberg import hirschberg_script
+from .lcs import lcs_length, lcs_length_duplicate_free, position_map
+from .lis import lis_indices, lis_length, longest_increasing_subsequence
+from .transform import EditOp, apply_script, gap_script, script_cost
+from .types import INF, StringLike, as_array
+from .ulam import (check_duplicate_free, is_duplicate_free, local_ulam,
+                   local_ulam_from_matches, match_points, ulam_auto,
+                   ulam_distance, ulam_from_matches, ulam_indel)
+
+__all__ = [
+    "InnerSolver", "cgks_edit_upper_bound", "geometric_offsets", "make_inner",
+    "levenshtein_banded", "levenshtein_doubling", "within_threshold",
+    "myers_fitting_row", "myers_last_row", "myers_levenshtein",
+    "hamming", "levenshtein", "levenshtein_last_row", "levenshtein_script",
+    "fitting_alignment", "fitting_distance", "fitting_last_row",
+    "hirschberg_script",
+    "lcs_length", "lcs_length_duplicate_free", "position_map",
+    "lis_indices", "lis_length", "longest_increasing_subsequence",
+    "EditOp", "apply_script", "gap_script", "script_cost",
+    "INF", "StringLike", "as_array",
+    "check_duplicate_free", "is_duplicate_free", "local_ulam",
+    "local_ulam_from_matches", "match_points", "ulam_auto",
+    "ulam_distance", "ulam_from_matches", "ulam_indel",
+]

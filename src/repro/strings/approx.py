@@ -1,0 +1,155 @@
+"""CGKS-style approximate edit distance (the paper's "variant of [12]").
+
+The small-distance phase of the paper's edit-distance algorithm computes
+block-vs-candidate distances with "a variant of the algorithm of
+Chakraborty–Das–Goldenberg–Koucký–Saks (FOCS'18)" — a ``3+ε``
+approximation running in subquadratic time.  This module implements a
+window-decomposition solver in that spirit:
+
+1. split ``a`` into ``√`` -sized windows,
+2. for each window, evaluate a geometric grid of candidate substrings of
+   ``b`` (geometric start shifts × geometric lengths) — all lengths for
+   one start come from a *single* DP's last row, and
+3. chain one candidate per window with a monotone DP, paying insertions
+   for skipped ``b`` gaps.
+
+The returned value is the cost of an explicit valid transformation, hence
+**always an upper bound** on the true distance; the `3+ε` behaviour is
+validated empirically (benchmark E11).  Every MPC driver also accepts
+``inner="exact"``, so the certified-exact configuration is one flag away.
+
+Work: ``O_ε(m·w·log n)`` with ``w = √max(m,n)`` — i.e. ``O_ε(n^1.5 log n)``
+on equal-length inputs, matching the subquadratic contract the paper needs
+from its inner solver (their exponent is ``2 - 1/6``; the windowed scheme
+is in the same family and strictly subquadratic).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from ..mpc.accounting import add_work
+from ..mpc.partition import blocks
+from .banded import levenshtein_doubling
+from .edit_distance import levenshtein, levenshtein_last_row
+from .types import INF, StringLike, as_array
+
+__all__ = ["geometric_offsets", "cgks_edit_upper_bound", "make_inner",
+           "InnerSolver"]
+
+InnerSolver = Callable[[np.ndarray, np.ndarray], int]
+
+
+def geometric_offsets(limit: int, eps: float) -> List[int]:
+    """Offsets ``{0, ±⌈(1+eps)^j⌉}`` up to ``limit``, deduplicated, sorted.
+
+    This is the paper's discretisation idiom (Fig. 5): inspecting only
+    geometrically-spaced shifts costs at most a ``1+eps`` relative error
+    in the shifted quantity while keeping ``O(log_(1+eps) limit)`` values.
+    """
+    if limit < 0:
+        raise ValueError("limit must be non-negative")
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    vals = {0}
+    step = 1.0
+    while True:
+        v = math.ceil(step)
+        if v > limit:
+            break
+        vals.add(v)
+        vals.add(-v)
+        step *= (1.0 + eps)
+    return sorted(vals)
+
+
+def cgks_edit_upper_bound(a: StringLike, b: StringLike,
+                          eps: float = 0.5,
+                          window: int | None = None) -> int:
+    """Windowed upper bound on ``ed(a, b)`` (see module docstring).
+
+    Parameters
+    ----------
+    a, b:
+        Input strings.
+    eps:
+        Grid resolution; smaller = denser grid = tighter bound, more work.
+    window:
+        Window size override (default ``⌈√max(m, n)⌉``).
+    """
+    A, B = as_array(a), as_array(b)
+    m, n = len(A), len(B)
+    if m == 0 or n == 0:
+        return m + n
+    w = window or max(1, int(math.isqrt(max(m, n))))
+    wins = blocks(m, w)
+    shifts = geometric_offsets(n, eps)
+
+    per_window: List[List[Tuple[int, int, int]]] = []
+    for lo, hi in wins:
+        wlen = hi - lo
+        cands: List[Tuple[int, int, int]] = []
+        seen = set()
+        span = 2 * wlen  # candidate lengths live in [0, 2·wlen]
+        for shift in shifts:
+            st = lo + shift
+            if st < 0 or st > n:
+                continue
+            if st in seen:
+                continue
+            seen.add(st)
+            chunk = B[st:st + span]
+            row = levenshtein_last_row(A[lo:hi], chunk)
+            # All candidate lengths for this start come from one DP row.
+            lengths = {0, min(wlen, len(chunk))}
+            for off in geometric_offsets(span, eps):
+                L = wlen + off
+                if 0 <= L <= len(chunk):
+                    lengths.add(L)
+            for L in lengths:
+                cands.append((st, st + L, int(row[L])))
+        # Catch-all: delete the window entirely at the far right, so the
+        # chain DP is always feasible regardless of earlier choices.
+        cands.append((n, n, wlen))
+        per_window.append(cands)
+
+    # Monotone chain DP: exactly one candidate per window, in order.
+    prev = np.array([st + cost for st, _, cost in per_window[0]],
+                    dtype=np.int64)
+    prev_ends = np.array([en for _, en, _ in per_window[0]], dtype=np.int64)
+    for cands in per_window[1:]:
+        cur = np.full(len(cands), INF, dtype=np.int64)
+        add_work(len(cands) * len(prev))
+        for ci, (st, en, cost) in enumerate(cands):
+            feasible = prev_ends <= st
+            if feasible.any():
+                gaps = st - prev_ends
+                best = int(np.where(feasible, prev + gaps, INF).min())
+                cur[ci] = best + cost
+        prev = cur
+        prev_ends = np.array([en for _, en, _ in cands], dtype=np.int64)
+    answer = int((prev + (n - prev_ends)).min())
+    return min(answer, m + n)
+
+
+def make_inner(kind: str, eps: float = 0.5) -> InnerSolver:
+    """Factory for the inner block-distance solver used by the MPC drivers.
+
+    ``kind``:
+
+    * ``"exact"`` — dense Wagner–Fischer (certified exact).
+    * ``"banded"`` — Ukkonen doubling (certified exact, output-sensitive).
+    * ``"cgks"`` — the windowed upper bound above (subquadratic,
+      the paper's configuration).
+    """
+    if kind == "exact":
+        return lambda a, b: levenshtein(a, b)
+    if kind == "banded":
+        return lambda a, b: levenshtein_doubling(a, b)
+    if kind == "cgks":
+        return lambda a, b: cgks_edit_upper_bound(a, b, eps=eps)
+    raise ValueError(f"unknown inner solver kind: {kind!r} "
+                     "(expected 'exact', 'banded' or 'cgks')")

@@ -1,0 +1,57 @@
+"""Hirschberg's linear-memory optimal alignment.
+
+:func:`repro.strings.edit_distance.levenshtein_script` keeps the full
+``O(m·n)`` DP table; for genome-scale inputs that is prohibitive.
+Hirschberg's classic divide-and-conquer recovers an *optimal* edit
+script in ``O(m·n)`` time but only ``O(m + n)`` memory: split ``a`` in
+half, find the optimal crossing column of ``b`` by combining a forward
+last-row with a backward last-row, and recurse on the two halves.
+
+Used by the examples for long-string alignment and cross-checked against
+the full-table aligner in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..mpc.accounting import add_work
+from .edit_distance import levenshtein_last_row, levenshtein_script
+from .transform import EditOp
+from .types import StringLike, as_array
+
+__all__ = ["hirschberg_script"]
+
+#: below this many cells, fall back to the full-table aligner
+_BASE_CELLS = 4096
+
+
+def _solve(A: np.ndarray, B: np.ndarray, a_off: int, b_off: int,
+           ops: List[EditOp]) -> None:
+    m, n = len(A), len(B)
+    if m * n <= _BASE_CELLS or m <= 1:
+        _, seg = levenshtein_script(A, B)
+        ops.extend((kind, i + a_off, j + b_off) for kind, i, j in seg)
+        return
+    mid = m // 2
+    fwd = levenshtein_last_row(A[:mid], B)
+    bwd = levenshtein_last_row(A[mid:][::-1], B[::-1])
+    add_work(n + 1)
+    totals = fwd + bwd[::-1]
+    split = int(np.argmin(totals))
+    _solve(A[:mid], B[:split], a_off, b_off, ops)
+    _solve(A[mid:], B[split:], a_off + mid, b_off + split, ops)
+
+
+def hirschberg_script(a: StringLike, b: StringLike) -> List[EditOp]:
+    """Optimal edit script in ``O(m·n)`` time and ``O(m+n)`` memory.
+
+    The returned script has length exactly ``levenshtein(a, b)`` and
+    replays (:func:`repro.strings.transform.apply_script`) to ``b``.
+    """
+    A, B = as_array(a), as_array(b)
+    ops: List[EditOp] = []
+    _solve(A, B, 0, 0, ops)
+    return ops

@@ -1,0 +1,73 @@
+"""Longest common subsequence kernels.
+
+Two engines:
+
+* :func:`lcs_length` — general strings, NumPy row-vectorised DP in
+  ``O(m·n)`` work (the ``max`` left-dependency collapses into a running
+  maximum, no offset needed because insertions do not change the score).
+* :func:`lcs_length_duplicate_free` — strings with no repeated characters
+  (the Ulam-distance setting), reduced to LIS of the position mapping in
+  ``O(n log n)`` work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..mpc.accounting import add_work
+from .lis import lis_length
+from .types import StringLike, as_array
+
+__all__ = ["lcs_length", "lcs_length_duplicate_free", "position_map"]
+
+
+def lcs_length(a: StringLike, b: StringLike) -> int:
+    """Length of the longest common subsequence (general strings)."""
+    A, B = as_array(a), as_array(b)
+    m, n = len(A), len(B)
+    add_work(max(m, 1) * max(n, 1))
+    if m == 0 or n == 0:
+        return 0
+    row = np.zeros(n + 1, dtype=np.int64)
+    for i in range(1, m + 1):
+        eq = (B == A[i - 1]).astype(np.int64)
+        t = np.maximum(row[1:], row[:-1] + eq)
+        cur = np.empty(n + 1, dtype=np.int64)
+        cur[0] = 0
+        cur[1:] = t
+        np.maximum.accumulate(cur, out=cur)
+        row = cur
+    return int(row[n])
+
+
+def position_map(s: StringLike) -> Dict[int, int]:
+    """Map symbol → its (unique) position in the duplicate-free string *s*.
+
+    Raises ``ValueError`` if *s* contains a repeated symbol, because every
+    caller relies on uniqueness for correctness.
+    """
+    arr = as_array(s)
+    pos: Dict[int, int] = {}
+    for i, v in enumerate(arr.tolist()):
+        if v in pos:
+            raise ValueError(f"symbol {v!r} repeats in a duplicate-free "
+                             f"string (positions {pos[v]} and {i})")
+        pos[v] = i
+    add_work(len(arr))
+    return pos
+
+
+def lcs_length_duplicate_free(a: StringLike, b: StringLike) -> int:
+    """LCS length of two duplicate-free strings in ``O(n log n)``.
+
+    Maps each character of *a* to its position in *b*; a common
+    subsequence is exactly an increasing subsequence of those positions.
+    """
+    A = as_array(a)
+    pos_b = position_map(b)
+    mapped = [pos_b[v] for v in A.tolist() if v in pos_b]
+    if len(set(A.tolist())) != len(A):
+        raise ValueError("first argument contains repeated symbols")
+    return lis_length(np.asarray(mapped, dtype=np.int64)) if mapped else 0

@@ -1,0 +1,150 @@
+"""Theorem 4 driver: the 2-round MPC Ulam-distance algorithm.
+
+Round 1 (Algorithm 1): one machine per block of ``s`` constructs candidate
+windows of ``s̄`` and their exact Ulam distances, from *positions only*.
+Round 2 (Algorithm 2): a single machine chains the tuples with a DP.
+
+The per-block position tables are part of the input distribution (§3.1:
+for duplicate-free ``s̄`` each machine only needs "the location of each
+character of ``s[ℓ_i, r_i]`` in ``s̄``", which the input loader provides
+the way a MapReduce join would); they are *charged against the machine's
+memory* like all other payload data.
+
+Guarantee: the returned value is always a valid upper bound on
+``ulam(s, s̄)`` (every DP chain is an explicit transformation) and is at
+most ``(1+ε)·ulam(s, s̄)`` with high probability over the hitting-set
+randomness (Theorem 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..mpc.accounting import RunStats
+from ..mpc.simulator import MPCSimulator
+from ..params import UlamParams
+from ..strings.ulam import check_duplicate_free
+from .candidates import (CandidateTuple, make_block_payload,
+                         run_block_machine)
+from .combine import run_combine_machine
+from .config import UlamConfig
+
+__all__ = ["UlamResult", "mpc_ulam"]
+
+
+@dataclass
+class UlamResult:
+    """Outcome of one MPC Ulam-distance execution."""
+
+    distance: int
+    n: int
+    params: UlamParams
+    stats: RunStats
+    n_tuples: int
+    tuples: Optional[List[CandidateTuple]] = None
+
+    def summary(self) -> Dict[str, object]:
+        """Headline numbers for reports (EXPERIMENTS.md rows)."""
+        out = {"distance": self.distance, "n": self.n,
+               "x": self.params.x, "eps": self.params.eps,
+               "block_size": self.params.block_size,
+               "n_tuples": self.n_tuples}
+        out.update(self.stats.summary())
+        return out
+
+
+def _positions_of_block(block: np.ndarray, pos_t: Dict[int, int]
+                        ) -> np.ndarray:
+    out = np.full(len(block), -1, dtype=np.int64)
+    for j, v in enumerate(block.tolist()):
+        p = pos_t.get(v)
+        if p is not None:
+            out[j] = p
+    return out
+
+
+def mpc_ulam(s, t, x: float = 0.25, eps: float = 0.5,
+             sim: Optional[MPCSimulator] = None,
+             config: Optional[UlamConfig] = None,
+             seed: int = 0,
+             keep_tuples: bool = False) -> UlamResult:
+    """Approximate ``ulam(s, t)`` with the paper's 2-round MPC algorithm.
+
+    Parameters
+    ----------
+    s, t:
+        Duplicate-free strings (``str`` or integer sequences); need not be
+        permutations of the same set, and may differ in length (blocks are
+        taken over ``s``).
+    x:
+        Memory exponent, ``0 < x < 1/2``: per-machine memory is
+        ``Õ_ε(n^(1-x))`` and ``Õ_ε(n^x)`` machines are used.
+    eps:
+        Approximation slack; the guarantee is ``1 + eps`` w.h.p.
+    sim:
+        Optional pre-configured simulator (e.g. with a process-pool
+        executor or a custom memory cap).  By default a strict simulator
+        with the paper's memory limit is created.
+    config:
+        Algorithm-1 constants (default: paper-faithful).
+    seed:
+        Root seed for the hitting-set sampling; block ``i`` uses
+        ``seed·2^20 + i`` so machines are independent and the run is
+        reproducible under any executor.
+    keep_tuples:
+        Also return the round-1 tuples (used by diagnostics benchmarks).
+
+    Returns
+    -------
+    UlamResult
+        ``distance`` is a valid upper bound on ``ulam(s, t)`` and a
+        ``1+eps`` approximation w.h.p.; ``stats`` holds the measured MPC
+        resources (2 rounds).
+    """
+    S = check_duplicate_free(s, "s")
+    T = check_duplicate_free(t, "t")
+    n = len(S)
+    params = UlamParams(n=n, x=x, eps=eps)
+    config = config or UlamConfig.default()
+    if sim is None:
+        sim = MPCSimulator(memory_limit=params.memory_limit)
+
+    # The phase-2 machine must hold every shipped tuple, so the per-block
+    # shipping cap adapts to the memory budget: ship at most what half the
+    # phase-2 machine's memory can hold (6 words per tuple).
+    if sim.memory_limit is not None:
+        n_blocks = params.n_blocks
+        budget_top_k = max(1, (sim.memory_limit // 2) // (6 * n_blocks))
+        current = config.phase2_top_k
+        if current is None or current > budget_top_k:
+            config = replace(config, phase2_top_k=budget_top_k)
+
+    pos_t: Dict[int, int] = {int(v): i for i, v in enumerate(T.tolist())}
+    if len(pos_t) != len(T):  # pragma: no cover - check_duplicate_free ran
+        raise AssertionError("t positions not unique")
+
+    B = params.block_size
+    u_guesses = params.u_guesses()
+    payloads = []
+    for bi, lo in enumerate(range(0, n, B)):
+        hi = min(lo + B, n)
+        block = S[lo:hi]
+        payloads.append(make_block_payload(
+            lo, hi, _positions_of_block(block, pos_t), len(T),
+            params.eps_prime, u_guesses, params.hitting_rate,
+            seed * (1 << 20) + bi, config))
+
+    outs = sim.run_round("ulam/1-candidates", run_block_machine, payloads)
+    tuples: List[CandidateTuple] = [tup for out in outs for tup in out]
+
+    answer = sim.run_round(
+        "ulam/2-combine", run_combine_machine,
+        [{"tuples": tuples, "n_s": n, "n_t": len(T), "mode": "max"}])[0]
+    distance = min(int(answer), max(n, len(T)))
+
+    return UlamResult(distance=distance, n=n, params=params,
+                      stats=sim.stats, n_tuples=len(tuples),
+                      tuples=tuples if keep_tuples else None)

@@ -1,0 +1,5 @@
+"""Seeded workload generators with planted distances."""
+
+from . import genome, permutations, strings
+
+__all__ = ["genome", "permutations", "strings"]

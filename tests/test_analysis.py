@@ -1,0 +1,68 @@
+"""Unit tests for scaling fits and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_power_law, format_kv, format_table
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_exponent(self):
+        ns = [64, 128, 256, 512]
+        values = [3.0 * n ** 1.5 for n in ns]
+        fit = fit_power_law(ns, values)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_data_close_exponent(self):
+        rng = np.random.default_rng(1)
+        ns = [2 ** k for k in range(6, 14)]
+        values = [2.0 * n ** 0.8 * np.exp(rng.normal(0, 0.05)) for n in ns]
+        fit = fit_power_law(ns, values)
+        assert abs(fit.exponent - 0.8) < 0.1
+        assert fit.r_squared > 0.95
+
+    def test_predict(self):
+        fit = fit_power_law([10, 100], [10, 100])
+        assert fit.predict(1000) == pytest.approx(1000)
+
+    def test_constant_data_zero_exponent(self):
+        fit = fit_power_law([10, 100, 1000], [5, 5, 5])
+        assert fit.exponent == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([10, 20], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([10, 10], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([10, 20, 30], [1, 2])
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "v"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1234567.0], [0.001], [3.14159]])
+        assert "1.23e+06" in out
+        assert "0.001" in out
+        assert "3.142" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestFormatKv:
+    def test_contains_title_and_pairs(self):
+        out = format_kv("Summary", {"rounds": 2, "machines": 16})
+        assert out.splitlines()[0] == "Summary"
+        assert "rounds" in out and "16" in out

@@ -1,0 +1,86 @@
+"""Unit tests for the baselines (HSS'19, single-machine, Table 1 rows)."""
+
+import pytest
+
+from repro.baselines import (hss_edit_distance, single_machine_edit_distance,
+                             single_machine_ulam, table1_rows)
+from repro.strings import levenshtein, ulam_distance
+from repro.workloads.permutations import planted_pair as perm_pair
+from repro.workloads.strings import planted_pair as str_pair
+
+
+class TestSingleMachine:
+    def test_edit_distance_exact(self):
+        s, t, _ = str_pair(100, 8, seed=1)
+        res = single_machine_edit_distance(s, t)
+        assert res.distance == levenshtein(s, t)
+        assert res.stats.n_rounds == 1
+        assert res.stats.max_machines == 1
+
+    def test_ulam_exact(self):
+        s, t, _ = perm_pair(64, 5, seed=2)
+        res = single_machine_ulam(s, t)
+        assert res.distance == ulam_distance(s, t)
+
+
+class TestHSS:
+    def test_two_rounds_per_guess(self):
+        s, t, _ = str_pair(128, 6, seed=3)
+        res = hss_edit_distance(s, t, x=0.25, eps=1.0)
+        assert res.stats.n_rounds == 2
+
+    def test_one_plus_eps_quality_on_planted_pairs(self):
+        for seed in range(4):
+            s, t, _ = str_pair(128, 10, seed=seed)
+            exact = levenshtein(s, t)
+            res = hss_edit_distance(s, t, x=0.25, eps=1.0)
+            assert exact <= res.distance <= (1 + 1.0) * max(exact, 1)
+
+    def test_equal_strings_shortcut(self):
+        s, _, _ = str_pair(64, 0, seed=4)
+        res = hss_edit_distance(s, s, x=0.25)
+        assert res.distance == 0
+        assert res.accepted_guess == 0
+
+    def test_more_machines_than_our_algorithm(self):
+        """The Table 1 story: HSS uses ~n^2x machines, ours ~n^(9/5)x."""
+        from repro.editdistance import mpc_edit_distance
+        s, t, _ = str_pair(256, 24, seed=5)
+        hss = hss_edit_distance(s, t, x=0.29, eps=1.0)
+        ours = mpc_edit_distance(s, t, x=0.29, eps=1.0)
+        assert hss.stats.max_machines > ours.stats.max_machines
+
+    def test_trivial_input(self):
+        res = hss_edit_distance([1], [2], x=0.25)
+        assert res.distance == 1
+
+
+class TestTable1Rows:
+    def test_four_rows(self):
+        rows = table1_rows(4096, 0.25)
+        assert len(rows) == 4
+        assert [r.reference for r in rows] == \
+            ["Theorem 4", "Theorem 9", "BEGHS'18 [11]", "HSS'19 [20]"]
+
+    def test_our_edit_beats_hss_machines(self):
+        for n in (2 ** 12, 2 ** 20):
+            for x in (0.1, 0.25, 5 / 17):
+                rows = {r.reference: r for r in table1_rows(n, x)}
+                assert rows["Theorem 9"].machines < \
+                    rows["HSS'19 [20]"].machines
+
+    def test_machine_ratio_is_n_to_the_x_fifth(self):
+        n, x = 2 ** 20, 0.25
+        rows = {r.reference: r for r in table1_rows(n, x)}
+        ratio = rows["HSS'19 [20]"].machines / rows["Theorem 9"].machines
+        assert ratio == pytest.approx(n ** (x / 5), rel=1e-9)
+
+    def test_ulam_work_is_linear(self):
+        rows = {r.reference: r for r in table1_rows(10 ** 6, 0.3)}
+        assert rows["Theorem 4"].total_time == 10 ** 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            table1_rows(1, 0.25)
+        with pytest.raises(ValueError):
+            table1_rows(100, 1.5)

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults_per_command(self):
+        args = build_parser().parse_args(["ulam"])
+        assert args.x == 0.4 and args.eps == 0.5
+        args = build_parser().parse_args(["edit"])
+        assert args.x == 0.25 and args.eps == 1.0
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["edit", "--n", "128", "--x", "0.2", "--eps", "2.0",
+             "--seed", "7"])
+        assert (args.n, args.x, args.eps, args.seed) == (128, 0.2, 2.0, 7)
+
+
+class TestCommands:
+    def test_ulam_runs(self, capsys):
+        assert main(["ulam", "--n", "128", "--budget", "4",
+                     "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4" in out
+        assert "ratio" in out and "rounds" in out
+
+    def test_edit_runs(self, capsys):
+        assert main(["edit", "--n", "128", "--budget", "4",
+                     "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 9" in out and "regime" in out
+
+    def test_lcs_runs(self, capsys):
+        assert main(["lcs", "--n", "128", "--exact"]) == 0
+        assert "MPC LCS" in capsys.readouterr().out
+
+    def test_hss_runs(self, capsys):
+        assert main(["hss", "--n", "128", "--budget", "4"]) == 0
+        assert "HSS'19" in capsys.readouterr().out
+
+    def test_lis_runs(self, capsys):
+        assert main(["lis", "--n", "128", "--exact"]) == 0
+        assert "MPC LIS" in capsys.readouterr().out
+
+    def test_beghs_runs(self, capsys):
+        assert main(["beghs", "--n", "128", "--budget", "4",
+                     "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "BEGHS'18" in out and "tree_depth" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--n", "4096", "--x", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4" in out and "HSS'19 [20]" in out
+
+    def test_file_inputs(self, tmp_path, capsys):
+        (tmp_path / "s.txt").write_text("elephant" * 8)
+        (tmp_path / "t.txt").write_text("relevant" * 8)
+        assert main(["edit",
+                     "--s-file", str(tmp_path / "s.txt"),
+                     "--t-file", str(tmp_path / "t.txt"),
+                     "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "exact" in out
+
+    def test_mismatched_file_flags_rejected(self, tmp_path):
+        (tmp_path / "s.txt").write_text("abc")
+        with pytest.raises(SystemExit):
+            main(["edit", "--s-file", str(tmp_path / "s.txt")])
+
+    def test_exact_omitted_skips_reference(self, capsys):
+        assert main(["ulam", "--n", "128", "--budget", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "exact" not in out

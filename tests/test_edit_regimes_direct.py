@@ -1,0 +1,119 @@
+"""Direct tests of the per-guess regime subroutines (not via the driver).
+
+The driver picks guesses and regimes; these tests pin the subroutines'
+contracts for *specific* guesses, including wrong ones — the analysis
+only promises quality when the guess upper-bounds the true distance, but
+validity (certified upper bound) must hold unconditionally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.editdistance import EditConfig
+from repro.editdistance.large import large_distance_upper_bound
+from repro.editdistance.small import small_distance_upper_bound
+from repro.mpc import MPCSimulator
+from repro.params import EditParams
+from repro.strings import levenshtein
+from repro.workloads.strings import block_shuffled_pair, planted_pair
+
+N = 192
+X = 0.29
+
+
+def _setup(budget, seed=3, eps=1.0):
+    s, t, _ = planted_pair(N, budget, sigma=4, seed=seed)
+    params = EditParams(n=N, x=X, eps=eps, eps_prime_divisor=4)
+    sim = MPCSimulator(memory_limit=params.memory_limit)
+    return s, t, params, sim
+
+
+class TestSmallRegimeDirect:
+    def test_good_guess_gives_tight_bound(self):
+        s, t, params, sim = _setup(budget=10)
+        exact = levenshtein(s, t)
+        bound, n_tuples = small_distance_upper_bound(
+            s, t, params, guess=max(2 * exact, 4), sim=sim,
+            config=EditConfig.default())
+        assert exact <= bound <= 4 * max(exact, 1)
+        assert n_tuples > 0
+        assert sim.stats.n_rounds == 2
+
+    def test_too_small_guess_still_valid(self):
+        s, t, params, sim = _setup(budget=40)
+        exact = levenshtein(s, t)
+        bound, _ = small_distance_upper_bound(
+            s, t, params, guess=1, sim=sim, config=EditConfig.default())
+        assert bound >= exact  # validity unconditionally
+
+    def test_huge_guess_still_valid_and_good(self):
+        s, t, params, sim = _setup(budget=10)
+        exact = levenshtein(s, t)
+        bound, _ = small_distance_upper_bound(
+            s, t, params, guess=2 * N, sim=sim,
+            config=EditConfig.default())
+        assert exact <= bound <= 4 * max(exact, 1)
+
+    def test_guess_one_on_equal_strings(self):
+        s, _, params, sim = _setup(budget=0)
+        bound, _ = small_distance_upper_bound(
+            s, s.copy(), params, guess=1, sim=sim,
+            config=EditConfig.default())
+        assert bound == 0
+
+
+class TestLargeRegimeDirect:
+    CFG = EditConfig(max_representatives=12, max_low_degree_samples=6,
+                     max_extensions_per_pair_source=8)
+
+    def test_validity_and_diagnostics(self):
+        s, t = block_shuffled_pair(N, 8, seed=1)
+        params = EditParams(n=N, x=X, eps=1.0, eps_prime_divisor=4)
+        sim = MPCSimulator(memory_limit=params.memory_limit)
+        exact = levenshtein(s, t)
+        bound, diag = large_distance_upper_bound(
+            s, t, params, guess=max(exact, 1), sim=sim, config=self.CFG,
+            seed=2)
+        assert bound >= exact
+        assert sim.stats.n_rounds == 4
+        for key in ("n_nodes", "n_reps", "n_sampled_blocks",
+                    "n_edge_tuples", "n_tuples"):
+            assert key in diag and diag[key] >= 0
+        assert diag["n_reps"] >= 1
+
+    def test_four_rounds_even_with_no_sparse_samples(self):
+        s, t, _ = planted_pair(N, 4, sigma=4, seed=5)
+        params = EditParams(n=N, x=X, eps=1.0, eps_prime_divisor=4)
+        sim = MPCSimulator(memory_limit=params.memory_limit)
+        cfg = EditConfig(max_representatives=8,
+                         low_rate_constant=0.0)  # sample no blocks
+        bound, diag = large_distance_upper_bound(
+            s, t, params, guess=N, sim=sim, config=cfg, seed=3)
+        assert sim.stats.n_rounds == 4
+        assert diag["n_sampled_blocks"] == 0
+        assert bound >= levenshtein(s, t)
+
+    def test_seed_changes_sampling_not_validity(self):
+        s, t = block_shuffled_pair(N, 8, seed=4)
+        params = EditParams(n=N, x=X, eps=1.0, eps_prime_divisor=4)
+        exact = levenshtein(s, t)
+        for seed in range(4):
+            sim = MPCSimulator(memory_limit=params.memory_limit)
+            bound, _ = large_distance_upper_bound(
+                s, t, params, guess=max(exact, 1), sim=sim,
+                config=self.CFG, seed=seed)
+            assert bound >= exact
+
+    def test_extension_tuples_appear_for_coherent_far_pairs(self):
+        # segment-shuffled pairs have coherent blocks far from their
+        # diagonal: exactly the case the sparse path (rounds 2-3) serves
+        s, t = block_shuffled_pair(N, 4, seed=6)
+        params = EditParams(n=N, x=X, eps=1.0, eps_prime_divisor=4)
+        sim = MPCSimulator(memory_limit=params.memory_limit)
+        cfg = EditConfig(max_representatives=4, low_rate_constant=10.0,
+                         max_low_degree_samples=8,
+                         max_extensions_per_pair_source=8)
+        _, diag = large_distance_upper_bound(
+            s, t, params, guess=N // 2, sim=sim, config=cfg, seed=1)
+        assert diag["n_sampled_blocks"] > 0
+        assert diag["n_direct_tuples"] > 0

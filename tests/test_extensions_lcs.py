@@ -1,0 +1,114 @@
+"""Tests for the MPC LCS extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import combine_lcs_tuples, mpc_lcs
+from repro.mpc import MemoryLimitExceeded, MPCSimulator
+from repro.strings import lcs_length
+from repro.workloads.strings import planted_pair, random_string
+
+N = 256
+X = 0.29
+EPS = 0.25
+
+
+class TestCombineLcsTuples:
+    def test_empty(self):
+        assert combine_lcs_tuples([], 10, 10) == 0
+
+    def test_single_tuple(self):
+        assert combine_lcs_tuples([(0, 5, 0, 5, 3)], 10, 10) == 3
+
+    def test_chain_adds_values(self):
+        tuples = [(0, 5, 0, 5, 3), (5, 10, 5, 10, 4)]
+        assert combine_lcs_tuples(tuples, 10, 10) == 7
+
+    def test_overlapping_windows_cannot_both_count(self):
+        tuples = [(0, 5, 0, 7, 3), (5, 10, 5, 10, 4)]
+        assert combine_lcs_tuples(tuples, 10, 10) == 4
+
+    def test_gaps_are_free(self):
+        tuples = [(0, 2, 0, 2, 2), (8, 10, 8, 10, 2)]
+        assert combine_lcs_tuples(tuples, 10, 10) == 4
+
+    def test_exhaustive_small(self, rng):
+        import itertools
+        for _ in range(25):
+            tuples = []
+            for _ in range(int(rng.integers(1, 6))):
+                lo = int(rng.integers(0, 8))
+                hi = int(rng.integers(lo + 1, 10))
+                sp = int(rng.integers(0, 8))
+                ep = int(rng.integers(sp, 10))
+                tuples.append((lo, hi, sp, ep, int(rng.integers(0, 5))))
+            best = 0
+            idx = sorted(range(len(tuples)), key=lambda a: tuples[a][0])
+            for r in range(1, len(tuples) + 1):
+                for combo in itertools.combinations(idx, r):
+                    ls = [tuples[a] for a in combo]
+                    if all(p[1] <= q[0] and p[3] <= q[2]
+                           for p, q in zip(ls, ls[1:])):
+                        best = max(best, sum(t[4] for t in ls))
+            assert combine_lcs_tuples(tuples, 10, 10) == best
+
+
+class TestMpcLcs:
+    def test_lower_bounds_exact(self, rng):
+        for budget in (0, 8, 64):
+            s, t, _ = planted_pair(N, budget, sigma=4, seed=budget)
+            res = mpc_lcs(s, t, x=X, eps=EPS)
+            assert res.lcs <= lcs_length(s, t)
+
+    def test_additive_error_bound(self):
+        for budget in (0, 8, 32):
+            s, t, _ = planted_pair(N, budget, sigma=4, seed=budget + 5)
+            res = mpc_lcs(s, t, x=X, eps=EPS)
+            exact = lcs_length(s, t)
+            # additive O(eps·n): constant 2 covers grid + endpoint slack
+            assert res.lcs >= exact - 2 * EPS * N
+
+    def test_identical_strings(self):
+        s = random_string(N, 4, seed=1)
+        res = mpc_lcs(s, s.copy(), x=X, eps=EPS)
+        assert res.lcs >= N - 2 * EPS * N
+
+    def test_two_rounds(self):
+        s, t, _ = planted_pair(N, 8, sigma=4, seed=2)
+        res = mpc_lcs(s, t, x=X, eps=EPS)
+        assert res.stats.n_rounds == 2
+
+    def test_disjoint_alphabets_zero(self):
+        s = random_string(N, 4, seed=1)
+        res = mpc_lcs(s, s + 10, x=X, eps=EPS)
+        assert res.lcs == 0
+
+    def test_empty_inputs(self):
+        assert mpc_lcs([], [1, 2], x=X).lcs == 0
+        assert mpc_lcs([1, 2], [], x=X).lcs == 0
+
+    def test_memory_cap_enforced(self):
+        s, t, _ = planted_pair(N, 8, sigma=4, seed=3)
+        with pytest.raises(MemoryLimitExceeded):
+            mpc_lcs(s, t, x=X, eps=EPS, sim=MPCSimulator(memory_limit=8))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mpc_lcs([1, 2], [1, 2], x=0.0)
+        with pytest.raises(ValueError):
+            mpc_lcs([1, 2], [1, 2], eps=0)
+
+    def test_smaller_eps_tightens(self):
+        s, t, _ = planted_pair(N, 16, sigma=4, seed=4)
+        coarse = mpc_lcs(s, t, x=X, eps=0.5)
+        fine = mpc_lcs(s, t, x=X, eps=0.125)
+        assert fine.lcs >= coarse.lcs
+
+    def test_duality_sanity_with_indel_distance(self):
+        """lcs >= (|s| + |t| - ed_indel)/2 relates the two metrics; our
+        lower bound must respect it up to the additive slack."""
+        s, t, _ = planted_pair(N, 16, sigma=4, seed=6)
+        exact = lcs_length(s, t)
+        indel = len(s) + len(t) - 2 * exact
+        res = mpc_lcs(s, t, x=X, eps=EPS)
+        assert (len(s) + len(t) - 2 * res.lcs) >= indel

@@ -1,0 +1,136 @@
+"""Tests for the LIS and approximate-search extensions."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import (approximate_search, combine_lis_tables,
+                              mpc_approximate_search, mpc_lis)
+from repro.strings import levenshtein, lis_length
+from repro.workloads.permutations import apply_moves, random_permutation
+
+
+class TestMpcLis:
+    def test_lower_bound_everywhere(self, rng):
+        for seed in range(5):
+            seq = random_permutation(200, seed=seed)
+            res = mpc_lis(seq, x=0.3, eps=0.25)
+            assert res.lis <= lis_length(seq)
+
+    def test_additive_error_bound(self):
+        n = 256
+        for label, seq in {
+            "sorted": np.arange(n),
+            "near-sorted": apply_moves(np.arange(n), 16, seed=1),
+            "random": random_permutation(n, seed=2),
+        }.items():
+            res = mpc_lis(seq, x=0.3, eps=0.25)
+            exact = lis_length(seq)
+            assert res.lis >= exact - 2 * 0.25 * n, label
+
+    def test_reversed_sequence_exact(self):
+        # LIS = 1: no quantisation loss possible
+        seq = np.arange(100)[::-1].copy()
+        assert mpc_lis(seq, x=0.3, eps=0.25).lis == 1
+
+    def test_sorted_sequence_near_n(self):
+        res = mpc_lis(np.arange(300), x=0.3, eps=0.1)
+        assert res.lis >= 300 * (1 - 2 * 0.1)
+
+    def test_two_rounds(self):
+        res = mpc_lis(random_permutation(128, seed=3), x=0.3, eps=0.25)
+        assert res.stats.n_rounds == 2
+
+    def test_empty(self):
+        assert mpc_lis(np.array([], dtype=np.int64)).lis == 0
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            mpc_lis([1, 1, 2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mpc_lis([1, 2], x=1.5)
+        with pytest.raises(ValueError):
+            mpc_lis([1, 2], eps=0)
+
+    def test_smaller_eps_tightens(self):
+        seq = apply_moves(np.arange(256), 20, seed=4)
+        coarse = mpc_lis(seq, x=0.3, eps=0.5)
+        fine = mpc_lis(seq, x=0.3, eps=0.1)
+        assert fine.lis >= coarse.lis
+
+    def test_combine_tables_single_block_identity(self):
+        # one block, K=2: the combine must read off the best full-range
+        table = np.array([[3, 5], [0, 2]], dtype=np.int64).reshape(-1)
+        assert combine_lis_tables([table], K=2) == 5
+
+
+class TestApproximateSearch:
+    def test_exact_occurrences_found(self):
+        text = [1, 2, 3, 4, 1, 2, 3, 5]
+        hits = approximate_search([1, 2, 3], text, k=0)
+        spans = {(m.start, m.end) for m in hits}
+        assert (0, 3) in spans and (4, 7) in spans
+        assert all(m.distance == 0 for m in hits)
+
+    def test_reported_distances_are_true(self, rng):
+        for _ in range(40):
+            t = rng.integers(0, 4, 40).tolist()
+            p = rng.integers(0, 4, 5).tolist()
+            for m in approximate_search(p, t, k=2):
+                assert levenshtein(p, t[m.start:m.end]) == m.distance
+                assert m.distance <= 2
+
+    def test_no_matches_beyond_k(self):
+        hits = approximate_search([9, 9, 9], [1, 2, 3, 4], k=1)
+        assert hits == []
+
+    def test_no_false_negatives_in_quality(self, rng):
+        """Completeness contract: if any window lies within distance d
+        (d ≤ k), a match with distance ≤ d is reported — valleys collapse
+        positions, never quality."""
+        for _ in range(20):
+            t = rng.integers(0, 3, 30).tolist()
+            p = rng.integers(0, 3, 4).tolist()
+            k = 1
+            hits = approximate_search(p, t, k)
+            best_hit = min((m.distance for m in hits), default=k + 1)
+            best_true = min(
+                (levenshtein(p, t[g:h])
+                 for g in range(len(t) + 1)
+                 for h in range(g, len(t) + 1)), default=k + 1)
+            if best_true <= k:
+                assert best_hit == best_true, (p, t)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_search([1], [1], k=-1)
+
+    def test_empty_pattern(self):
+        assert approximate_search([], [1, 2], k=0) == \
+            approximate_search([], [1, 2], k=3)
+
+
+class TestMpcApproximateSearch:
+    def test_matches_sequential_exactly(self, rng):
+        for trial in range(20):
+            t = rng.integers(0, 4, 80).tolist()
+            p = rng.integers(0, 4, 6).tolist()
+            seq = {(m.start, m.end, m.distance)
+                   for m in approximate_search(p, t, 2)}
+            for shard in (11, 23, 80):
+                mpc = {(m.start, m.end, m.distance)
+                       for m in mpc_approximate_search(
+                           p, t, 2, shard_size=shard).matches}
+                assert mpc == seq, (trial, shard)
+
+    def test_single_round(self):
+        res = mpc_approximate_search([1, 2], list(range(50)), k=1,
+                                     shard_size=10)
+        assert res.stats.n_rounds == 1
+        assert res.stats.max_machines == 5
+
+    def test_memory_capped_shards(self):
+        res = mpc_approximate_search([1, 2, 3], list(range(200)) * 2,
+                                     k=1, shard_size=40)
+        assert res.stats.max_memory_words <= 8 * (40 + 2 * 4 + 3) + 64

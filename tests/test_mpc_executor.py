@@ -1,0 +1,70 @@
+"""Unit tests for serial and process-pool executors.
+
+Machine functions must be top-level for pickling, hence the module-level
+helpers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpc import (MachineTask, MPCSimulator, ProcessPoolExecutor,
+                       SerialExecutor, add_work, execute_task)
+
+
+def _square(payload):
+    add_work(payload)
+    return payload * payload
+
+
+def _numpy_sum(payload):
+    return int(np.sum(payload))
+
+
+class TestExecuteTask:
+    def test_result_carries_output_and_work(self):
+        res = execute_task(MachineTask(fn=_square, payload=6))
+        assert res.output == 36
+        assert res.work == 6
+        assert res.wall_seconds >= 0
+
+
+class TestSerialExecutor:
+    def test_runs_in_order(self):
+        ex = SerialExecutor()
+        results = ex.run([MachineTask(_square, i) for i in range(5)])
+        assert [r.output for r in results] == [0, 1, 4, 9, 16]
+
+    def test_empty(self):
+        assert SerialExecutor().run([]) == []
+
+
+class TestProcessPoolExecutor:
+    def test_matches_serial_results(self):
+        tasks = [MachineTask(_square, i) for i in range(10)]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            pooled = pool.run(tasks)
+        serial = SerialExecutor().run(tasks)
+        assert [r.output for r in pooled] == [r.output for r in serial]
+
+    def test_work_metering_crosses_process_boundary(self):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            results = pool.run([MachineTask(_square, 7)])
+        assert results[0].work == 7
+
+    def test_numpy_payloads_roundtrip(self):
+        arrays = [np.arange(k) for k in (3, 5, 7)]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            results = pool.run([MachineTask(_numpy_sum, a) for a in arrays])
+        assert [r.output for r in results] == [3, 10, 21]
+
+    def test_empty_run_without_spawning_pool(self):
+        pool = ProcessPoolExecutor()
+        assert pool.run([]) == []
+        assert pool._pool is None  # no workers were started
+
+    def test_simulator_integration(self):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            sim = MPCSimulator(memory_limit=1000, executor=pool)
+            outs = sim.run_round("r", _square, [1, 2, 3])
+        assert outs == [1, 4, 9]
+        assert sim.stats.rounds[0].total_work == 6

@@ -1,0 +1,85 @@
+"""Unit tests for partitioning helpers."""
+
+import pytest
+
+from repro.mpc import block_of, blocks, chunk, pack_by_weight
+
+
+class TestBlocks:
+    def test_exact_division(self):
+        assert blocks(8, 4) == [(0, 4), (4, 8)]
+
+    def test_remainder_absorbed_by_last_block(self):
+        assert blocks(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_single_block(self):
+        assert blocks(3, 10) == [(0, 3)]
+
+    def test_empty(self):
+        assert blocks(0, 4) == []
+
+    def test_covers_range_without_overlap(self):
+        bs = blocks(97, 13)
+        assert bs[0][0] == 0 and bs[-1][1] == 97
+        for (a, b), (c, d) in zip(bs, bs[1:]):
+            assert b == c and a < b
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            blocks(-1, 4)
+        with pytest.raises(ValueError):
+            blocks(4, 0)
+
+
+class TestBlockOf:
+    def test_maps_position_to_block(self):
+        assert block_of(0, 4) == 0
+        assert block_of(3, 4) == 0
+        assert block_of(4, 4) == 1
+
+    def test_consistent_with_blocks(self):
+        bs = blocks(50, 7)
+        for pos in range(50):
+            i = block_of(pos, 7)
+            lo, hi = bs[i]
+            assert lo <= pos < hi
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            block_of(-1, 4)
+        with pytest.raises(ValueError):
+            block_of(1, 0)
+
+
+class TestChunk:
+    def test_chunks(self):
+        assert list(chunk([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+
+    def test_empty(self):
+        assert list(chunk([], 3)) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(chunk([1], 0))
+
+
+class TestPackByWeight:
+    def test_respects_capacity(self):
+        bins = pack_by_weight("abcdef", [2, 2, 2, 2, 2, 2], capacity=4)
+        assert bins == [["a", "b"], ["c", "d"], ["e", "f"]]
+
+    def test_preserves_order(self):
+        bins = pack_by_weight(range(5), [3, 3, 3, 3, 3], capacity=6)
+        flat = [x for b in bins for x in b]
+        assert flat == list(range(5))
+
+    def test_oversized_item_gets_own_bin(self):
+        bins = pack_by_weight(["big", "small"], [100, 1], capacity=10)
+        assert bins == [["big"], ["small"]]
+
+    def test_empty(self):
+        assert pack_by_weight([], [], capacity=5) == []
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            pack_by_weight([1], [1], capacity=0)

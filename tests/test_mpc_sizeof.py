@@ -1,0 +1,91 @@
+"""Unit tests for the MPC word-size measure."""
+
+import numpy as np
+import pytest
+
+from repro.mpc import sizeof
+
+
+class TestScalars:
+    def test_int(self):
+        assert sizeof(7) == 1
+
+    def test_float(self):
+        assert sizeof(3.14) == 1
+
+    def test_bool(self):
+        assert sizeof(True) == 1
+
+    def test_none(self):
+        assert sizeof(None) == 1
+
+    def test_numpy_scalar(self):
+        assert sizeof(np.int64(9)) == 1
+
+
+class TestStringsAndArrays:
+    def test_str_counts_characters(self):
+        assert sizeof("hello") == 5
+
+    def test_empty_str_costs_one_word(self):
+        assert sizeof("") == 1
+
+    def test_bytes(self):
+        assert sizeof(b"abc") == 3
+
+    def test_array_counts_elements(self):
+        assert sizeof(np.arange(17)) == 17
+
+    def test_empty_array_costs_one_word(self):
+        assert sizeof(np.array([])) == 1
+
+    def test_2d_array_counts_all_elements(self):
+        assert sizeof(np.zeros((3, 4))) == 12
+
+
+class TestContainers:
+    def test_list_adds_framing_word(self):
+        assert sizeof([1, 2, 3]) == 4
+
+    def test_tuple(self):
+        assert sizeof((1, 2)) == 3
+
+    def test_empty_list(self):
+        assert sizeof([]) == 1
+
+    def test_dict_counts_keys_and_values(self):
+        assert sizeof({"ab": 1}) == 1 + 2 + 1
+
+    def test_nested(self):
+        # [ [1], "ab" ] = 1 frame + (1 frame + 1) + 2
+        assert sizeof([[1], "ab"]) == 5
+
+    def test_set(self):
+        assert sizeof({1, 2, 3}) == 4
+
+
+class TestProtocolAndErrors:
+    def test_mpc_size_protocol_wins(self):
+        class Weighted:
+            def __mpc_size__(self):
+                return 42
+
+        assert sizeof(Weighted()) == 42
+
+    def test_unknown_type_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="no MPC word size"):
+            sizeof(Opaque())
+
+    def test_unknown_nested_type_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            sizeof([1, Opaque()])
+
+    def test_monotone_under_wrapping(self):
+        payload = {"x": np.arange(10), "y": "abc"}
+        assert sizeof([payload]) > sizeof(payload)

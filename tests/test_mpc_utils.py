@@ -1,0 +1,77 @@
+"""Tests for distributed primitives (repro.mpc.utils)."""
+
+import numpy as np
+import pytest
+
+from repro import EditConfig, mpc_edit_distance
+from repro.mpc import MPCSimulator, distributed_equal
+from repro.workloads.strings import random_string
+
+
+class TestDistributedEqual:
+    def test_equal_arrays(self):
+        sim = MPCSimulator(memory_limit=64)
+        a = np.arange(100)
+        assert distributed_equal(a, a.copy(), sim)
+        assert sim.stats.n_rounds == 1
+        assert sim.stats.max_machines > 1  # genuinely chunked
+
+    def test_unequal_arrays(self):
+        sim = MPCSimulator(memory_limit=64)
+        a = np.arange(100)
+        b = a.copy()
+        b[77] = -1
+        assert not distributed_equal(a, b, sim)
+
+    def test_length_mismatch_no_round(self):
+        sim = MPCSimulator(memory_limit=64)
+        assert not distributed_equal(np.arange(5), np.arange(6), sim)
+        assert sim.stats.n_rounds == 0
+
+    def test_empty_arrays(self):
+        sim = MPCSimulator()
+        assert distributed_equal(np.array([]), np.array([]), sim)
+        assert sim.stats.n_rounds == 0
+
+    def test_difference_in_last_chunk(self):
+        sim = MPCSimulator(memory_limit=64)
+        a = np.arange(101)
+        b = a.copy()
+        b[-1] = -9
+        assert not distributed_equal(a, b, sim)
+
+    def test_chunks_respect_memory(self):
+        sim = MPCSimulator(memory_limit=32)
+        a = np.arange(500)
+        assert distributed_equal(a, a.copy(), sim)
+        assert sim.stats.max_memory_words <= 32
+
+    def test_explicit_chunk_size(self):
+        sim = MPCSimulator()
+        a = np.arange(10)
+        assert distributed_equal(a, a.copy(), sim, chunk_size=3)
+        assert sim.stats.rounds[0].machines == 4
+
+
+class TestDriverIntegration:
+    def test_equality_round_charged_when_enabled(self):
+        s = random_string(256, 4, seed=1)
+        cfg = EditConfig(distributed_equality_check=True)
+        res = mpc_edit_distance(s, s.copy(), x=0.25, config=cfg)
+        assert res.distance == 0
+        assert res.stats.n_rounds == 1
+        assert res.stats.rounds[0].name == "ed/0-equality"
+
+    def test_default_keeps_zero_rounds(self):
+        s = random_string(256, 4, seed=2)
+        res = mpc_edit_distance(s, s.copy(), x=0.25)
+        assert res.distance == 0 and res.stats.n_rounds == 0
+
+    def test_enabled_check_on_unequal_inputs_still_correct(self):
+        s = random_string(128, 4, seed=3)
+        t = s.copy()
+        t[5] = (t[5] + 1) % 4
+        cfg = EditConfig(distributed_equality_check=True)
+        res = mpc_edit_distance(s, t, x=0.25, eps=1.0, config=cfg)
+        assert res.distance == 1
+        assert res.stats.rounds[0].name == "ed/0-equality"

@@ -1,0 +1,112 @@
+"""Unit tests for the CGKS-style approximate inner solver."""
+
+import pytest
+
+from repro.strings import (cgks_edit_upper_bound, geometric_offsets,
+                           levenshtein, make_inner)
+
+from .helpers import brute_edit_distance
+
+
+class TestGeometricOffsets:
+    def test_contains_zero_and_units(self):
+        offs = geometric_offsets(10, 0.5)
+        assert 0 in offs and 1 in offs and -1 in offs
+
+    def test_symmetric(self):
+        offs = geometric_offsets(100, 0.3)
+        assert sorted(-o for o in offs) == offs
+
+    def test_respects_limit(self):
+        assert max(geometric_offsets(7, 0.5)) <= 7
+
+    def test_zero_limit(self):
+        assert geometric_offsets(0, 0.5) == [0]
+
+    def test_count_is_logarithmic(self):
+        offs = geometric_offsets(10 ** 6, 0.5)
+        assert len(offs) < 80
+
+    def test_denser_for_smaller_eps(self):
+        assert len(geometric_offsets(1000, 0.1)) > \
+            len(geometric_offsets(1000, 1.0))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            geometric_offsets(-1, 0.5)
+        with pytest.raises(ValueError):
+            geometric_offsets(10, 0)
+
+
+class TestCgksUpperBound:
+    def test_is_valid_upper_bound(self, rng):
+        for _ in range(80):
+            m, n = rng.integers(0, 40, 2)
+            a = rng.integers(0, 4, m).tolist()
+            b = rng.integers(0, 4, n).tolist()
+            u = cgks_edit_upper_bound(a, b, eps=0.5)
+            assert brute_edit_distance(a, b) <= u <= m + n
+
+    def test_zero_on_equal_strings(self, rng):
+        a = rng.integers(0, 4, 50).tolist()
+        assert cgks_edit_upper_bound(a, a) == 0
+
+    def test_empty_cases(self):
+        assert cgks_edit_upper_bound([], [1, 2]) == 2
+        assert cgks_edit_upper_bound([1, 2], []) == 2
+        assert cgks_edit_upper_bound([], []) == 0
+
+    def test_ratio_on_similar_strings(self, rng):
+        # planted small distance: the window grid must track the diagonal
+        import numpy as np
+        worst = 0.0
+        for seed in range(10):
+            local = np.random.default_rng(seed)
+            a = local.integers(0, 4, 120).tolist()
+            b = list(a)
+            for _ in range(6):
+                b[int(local.integers(0, len(b)))] = int(local.integers(0, 4))
+            exact = levenshtein(a, b)
+            if exact == 0:
+                continue
+            u = cgks_edit_upper_bound(a, b, eps=0.5)
+            worst = max(worst, u / exact)
+        assert worst <= 4.0  # 3 + eps with eps = 1 headroom
+
+    def test_smaller_eps_never_hurts_much(self, rng):
+        a = rng.integers(0, 4, 60).tolist()
+        b = rng.integers(0, 4, 60).tolist()
+        coarse = cgks_edit_upper_bound(a, b, eps=1.0)
+        fine = cgks_edit_upper_bound(a, b, eps=0.25)
+        assert fine <= coarse + len(a)  # sanity: same order of magnitude
+
+    def test_window_override(self, rng):
+        a = rng.integers(0, 4, 30).tolist()
+        b = rng.integers(0, 4, 30).tolist()
+        exact = brute_edit_distance(a, b)
+        for w in (1, 5, 30):
+            assert cgks_edit_upper_bound(a, b, window=w) >= exact
+
+
+class TestMakeInner:
+    def test_exact_kind(self, rng):
+        inner = make_inner("exact")
+        a = rng.integers(0, 3, 10)
+        b = rng.integers(0, 3, 12)
+        assert inner(a, b) == brute_edit_distance(a.tolist(), b.tolist())
+
+    def test_banded_kind(self, rng):
+        inner = make_inner("banded")
+        a = rng.integers(0, 3, 10)
+        b = rng.integers(0, 3, 12)
+        assert inner(a, b) == brute_edit_distance(a.tolist(), b.tolist())
+
+    def test_cgks_kind_upper_bounds(self, rng):
+        inner = make_inner("cgks", eps=0.5)
+        a = rng.integers(0, 3, 20)
+        b = rng.integers(0, 3, 20)
+        assert inner(a, b) >= brute_edit_distance(a.tolist(), b.tolist())
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown inner solver"):
+            make_inner("magic")

@@ -1,0 +1,75 @@
+"""Unit tests for banded (Ukkonen) edit distance."""
+
+import pytest
+
+from repro.mpc import WorkMeter
+from repro.strings import (levenshtein, levenshtein_banded,
+                           levenshtein_doubling, within_threshold)
+
+from .helpers import brute_edit_distance
+
+
+class TestBandedExactness:
+    def test_within_band_is_exact(self, rng):
+        for _ in range(100):
+            m, n = rng.integers(0, 12, 2)
+            a = rng.integers(0, 4, m).tolist()
+            b = rng.integers(0, 4, n).tolist()
+            d = brute_edit_distance(a, b)
+            for k in (0, 1, 2, 4, 25):
+                got = levenshtein_banded(a, b, k)
+                if d <= k:
+                    assert got == d, (a, b, k)
+                else:
+                    assert got is None, (a, b, k)
+
+    def test_length_difference_shortcut(self):
+        assert levenshtein_banded([1] * 10, [1] * 2, 3) is None
+
+    def test_zero_band_detects_equality(self):
+        assert levenshtein_banded("abc", "abc", 0) == 0
+        assert levenshtein_banded("abc", "abd", 0) is None
+
+    def test_empty_strings(self):
+        assert levenshtein_banded("", "", 0) == 0
+        assert levenshtein_banded("", "ab", 2) == 2
+        assert levenshtein_banded("", "ab", 1) is None
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            levenshtein_banded("a", "b", -1)
+
+
+class TestDoubling:
+    def test_matches_full_dp(self, rng):
+        for _ in range(100):
+            m, n = rng.integers(0, 14, 2)
+            a = rng.integers(0, 3, m).tolist()
+            b = rng.integers(0, 3, n).tolist()
+            assert levenshtein_doubling(a, b) == brute_edit_distance(a, b)
+
+    def test_output_sensitive_work(self):
+        # similar strings: banded doubling must beat the dense DP's work
+        a = list(range(500))
+        b = list(range(500))
+        b[100] = 9999
+        with WorkMeter() as banded:
+            levenshtein_doubling(a, b)
+        with WorkMeter() as dense:
+            levenshtein(a, b)
+        assert banded.total < dense.total / 10
+
+
+class TestThreshold:
+    def test_within_threshold(self):
+        assert within_threshold("kitten", "sitting", 3)
+        assert not within_threshold("kitten", "sitting", 2)
+
+    def test_consistent_with_exact(self, rng):
+        for _ in range(50):
+            a = rng.integers(0, 3, 8).tolist()
+            b = rng.integers(0, 3, 10).tolist()
+            d = brute_edit_distance(a, b)
+            assert within_threshold(a, b, d)
+            if d > 0:
+                assert not within_threshold(a, b, d - 1)

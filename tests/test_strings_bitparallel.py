@@ -1,0 +1,84 @@
+"""Tests for Myers' bit-parallel kernels and the dispatch that uses them."""
+
+import numpy as np
+import pytest
+
+from repro.strings import (fitting_last_row, levenshtein,
+                           levenshtein_last_row, myers_fitting_row,
+                           myers_last_row, myers_levenshtein)
+from repro.strings import edit_distance as ed_mod
+
+from .helpers import brute_edit_distance
+
+
+class TestMyersLevenshtein:
+    def test_against_brute_force(self, rng):
+        for _ in range(150):
+            m, n = rng.integers(0, 20, 2)
+            a = rng.integers(0, 5, m).tolist()
+            b = rng.integers(0, 5, n).tolist()
+            assert myers_levenshtein(a, b) == brute_edit_distance(a, b)
+
+    def test_paper_example(self):
+        assert myers_levenshtein("elephant", "relevant") == 3
+
+    def test_empty_sides(self):
+        assert myers_levenshtein([], [1, 2]) == 2
+        assert myers_levenshtein([1, 2], []) == 2
+        assert myers_levenshtein([], []) == 0
+
+    def test_crosses_word_boundary(self, rng):
+        # patterns longer than 64 exercise the multi-word bigint path
+        for m in (63, 64, 65, 130, 257):
+            a = rng.integers(0, 4, m).tolist()
+            b = rng.integers(0, 4, m + 7).tolist()
+            assert myers_levenshtein(a, b) == levenshtein(a, b)
+
+    def test_unicode(self):
+        assert myers_levenshtein("naïve", "naive") == 1
+
+
+class TestMyersRows:
+    def test_last_row_matches_reference(self, rng):
+        for _ in range(80):
+            a = rng.integers(0, 4, int(rng.integers(0, 15))).tolist()
+            b = rng.integers(0, 4, int(rng.integers(0, 15))).tolist()
+            assert np.array_equal(myers_last_row(a, b),
+                                  levenshtein_last_row(a, b))
+
+    def test_fitting_row_matches_reference(self, rng):
+        for _ in range(80):
+            a = rng.integers(0, 4, int(rng.integers(0, 15))).tolist()
+            b = rng.integers(0, 4, int(rng.integers(0, 15))).tolist()
+            assert np.array_equal(myers_fitting_row(a, b),
+                                  fitting_last_row(a, b))
+
+    def test_long_pattern_rows(self, rng):
+        a = rng.integers(0, 4, 150)
+        b = rng.integers(0, 4, 200)
+        assert np.array_equal(myers_last_row(a, b),
+                              levenshtein_last_row(a, b))
+        assert np.array_equal(myers_fitting_row(a, b),
+                              fitting_last_row(a, b))
+
+
+class TestDispatch:
+    def test_dispatch_threshold_consistency(self, rng):
+        """Both backends must agree exactly at the dispatch boundary."""
+        m = ed_mod._BITPARALLEL_MIN_M
+        for mm in (m - 1, m, m + 1):
+            a = rng.integers(0, 4, mm)
+            b = rng.integers(0, 4, 2 * m)
+            via_dispatch = levenshtein_last_row(a, b)
+            direct = myers_last_row(a, b)
+            assert np.array_equal(via_dispatch, direct)
+
+    def test_dispatch_patchable_for_isolation(self, rng, monkeypatch):
+        # force the pure-NumPy path even for long patterns
+        monkeypatch.setattr(ed_mod, "_BITPARALLEL_MIN_M", 10 ** 9)
+        a = rng.integers(0, 4, 150)
+        b = rng.integers(0, 4, 150)
+        numpy_only = levenshtein_last_row(a, b)
+        monkeypatch.setattr(ed_mod, "_BITPARALLEL_MIN_M", 1)
+        myers_only = levenshtein_last_row(a, b)
+        assert np.array_equal(numpy_only, myers_only)

@@ -1,0 +1,97 @@
+"""Unit tests for LIS and LCS kernels."""
+
+import numpy as np
+import pytest
+
+from repro.strings import (lcs_length, lcs_length_duplicate_free,
+                           lis_indices, lis_length,
+                           longest_increasing_subsequence, position_map)
+
+from .helpers import brute_lcs_length, brute_lis_length
+
+
+class TestLisLength:
+    def test_known_case(self):
+        assert lis_length([3, 1, 4, 1, 5, 9, 2, 6]) == 4
+
+    def test_sorted_sequence(self):
+        assert lis_length(list(range(10))) == 10
+
+    def test_reversed_sequence(self):
+        assert lis_length(list(range(10))[::-1]) == 1
+
+    def test_empty(self):
+        assert lis_length([]) == 0
+
+    def test_strict_vs_nonstrict_on_ties(self):
+        assert lis_length([2, 2, 2], strict=True) == 1
+        assert lis_length([2, 2, 2], strict=False) == 3
+
+    def test_against_brute_force(self, rng):
+        for _ in range(100):
+            n = int(rng.integers(0, 15))
+            seq = rng.integers(0, 10, n).tolist()
+            assert lis_length(seq) == brute_lis_length(seq)
+
+
+class TestLisIndices:
+    def test_indices_form_increasing_subsequence(self, rng):
+        for _ in range(60):
+            seq = rng.integers(0, 12, int(rng.integers(0, 15))).tolist()
+            idx = lis_indices(seq)
+            assert len(idx) == brute_lis_length(seq)
+            assert idx == sorted(idx)
+            values = [seq[i] for i in idx]
+            assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_values_helper(self):
+        vals = longest_increasing_subsequence([3, 1, 4, 1, 5])
+        assert vals == sorted(vals)
+        assert len(vals) == 3
+
+
+class TestLcsLength:
+    def test_known_case(self):
+        assert lcs_length("ABCBDAB", "BDCABA") == 4
+
+    def test_disjoint(self):
+        assert lcs_length([1, 2], [3, 4]) == 0
+
+    def test_empty(self):
+        assert lcs_length([], [1, 2]) == 0
+
+    def test_against_brute_force(self, rng):
+        for _ in range(100):
+            a = rng.integers(0, 4, int(rng.integers(0, 12))).tolist()
+            b = rng.integers(0, 4, int(rng.integers(0, 12))).tolist()
+            assert lcs_length(a, b) == brute_lcs_length(a, b)
+
+
+class TestLcsDuplicateFree:
+    def test_matches_general_lcs_on_permutations(self, rng):
+        for _ in range(80):
+            m = int(rng.integers(0, 12))
+            n = int(rng.integers(0, 12))
+            a = rng.permutation(20)[:m].tolist()
+            b = rng.permutation(20)[:n].tolist()
+            assert lcs_length_duplicate_free(a, b) == brute_lcs_length(a, b)
+
+    def test_rejects_duplicates_in_first_arg(self):
+        with pytest.raises(ValueError):
+            lcs_length_duplicate_free([1, 1], [1, 2])
+
+    def test_rejects_duplicates_in_second_arg(self):
+        with pytest.raises(ValueError):
+            lcs_length_duplicate_free([1, 2], [3, 3])
+
+
+class TestPositionMap:
+    def test_maps_symbols_to_positions(self):
+        assert position_map([7, 3, 9]) == {7: 0, 3: 1, 9: 2}
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="repeats"):
+            position_map([1, 2, 1])
+
+    def test_empty(self):
+        assert position_map(np.array([], dtype=np.int64)) == {}

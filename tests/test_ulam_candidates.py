@@ -1,0 +1,131 @@
+"""Unit tests for Algorithm 1 (Ulam candidate construction)."""
+
+import numpy as np
+import pytest
+
+from repro.params import UlamParams
+from repro.strings import local_ulam, ulam_distance
+from repro.ulam import UlamConfig, make_block_payload, run_block_machine
+from repro.workloads.permutations import planted_pair, random_permutation
+
+
+def _payload_for(s, t, lo, hi, params, config=None, seed=0):
+    pos_t = {int(v): i for i, v in enumerate(t.tolist())}
+    positions = np.array([pos_t.get(int(v), -1) for v in s[lo:hi]],
+                         dtype=np.int64)
+    return make_block_payload(lo, hi, positions, len(t),
+                              params.eps_prime, params.u_guesses(),
+                              params.hitting_rate, seed,
+                              config or UlamConfig.default())
+
+
+class TestBlockMachine:
+    def test_tuples_reference_the_block(self):
+        s, t, _ = planted_pair(128, 5, seed=1)
+        params = UlamParams(n=128, x=0.4)
+        B = params.block_size
+        payload = _payload_for(s, t, 0, B, params)
+        tuples = run_block_machine(payload)
+        assert tuples
+        for lo, hi, sp, ep, d in tuples:
+            assert (lo, hi) == (0, B)
+            assert 0 <= sp <= ep <= len(t)
+            assert d >= 0
+
+    def test_distances_are_exact(self):
+        s, t, _ = planted_pair(96, 4, seed=2)
+        params = UlamParams(n=96, x=0.4)
+        B = params.block_size
+        payload = _payload_for(s, t, 0, B, params)
+        for lo, hi, sp, ep, d in run_block_machine(payload):
+            assert d == ulam_distance(s[lo:hi], t[sp:ep]), (sp, ep)
+
+    def test_identical_strings_yield_zero_tuple(self):
+        s = random_permutation(64, seed=3)
+        params = UlamParams(n=64, x=0.4)
+        B = params.block_size
+        payload = _payload_for(s, s, 0, B, params)
+        tuples = run_block_machine(payload)
+        exact = [tup for tup in tuples if tup[4] == 0
+                 and tup[2] == 0 and tup[3] == B]
+        assert exact, "the lulam optimum must appear as a candidate"
+
+    def test_lulam_window_is_always_a_candidate(self):
+        s, t, _ = planted_pair(96, 10, seed=4)
+        params = UlamParams(n=96, x=0.4)
+        B = params.block_size
+        payload = _payload_for(s, t, B, 2 * B, params)
+        gamma, kappa, d_star = local_ulam(s[B:2 * B], t)
+        tuples = run_block_machine(payload)
+        assert any((sp, ep) == (gamma, kappa) for _, _, sp, ep, _ in tuples)
+        assert min(d for *_, d in tuples) == d_star
+
+    def test_deterministic_under_seed(self):
+        s, t, _ = planted_pair(128, 30, seed=5, style="moves")
+        params = UlamParams(n=128, x=0.4)
+        B = params.block_size
+        a = run_block_machine(_payload_for(s, t, 0, B, params, seed=9))
+        b = run_block_machine(_payload_for(s, t, 0, B, params, seed=9))
+        assert a == b
+
+    def test_near_optimal_candidate_exists(self):
+        # Lemma 3: a candidate with distance close to the block's best
+        # alignment must be produced.
+        s, t, _ = planted_pair(128, 6, seed=6)
+        params = UlamParams(n=128, x=0.4, eps=0.5)
+        B = params.block_size
+        for lo in range(0, 128, B):
+            payload = _payload_for(s, t, lo, min(lo + B, 128), params)
+            tuples = run_block_machine(payload)
+            best = min(d for *_, d in tuples)
+            _, _, d_star = local_ulam(s[lo:lo + B], t)
+            assert best == d_star  # lulam optimum always evaluated
+
+    def test_missing_characters_handled(self):
+        # t lacks some of s's symbols entirely
+        s = np.arange(32, dtype=np.int64)
+        t = np.arange(16, dtype=np.int64)  # second half absent
+        params = UlamParams(n=32, x=0.4)
+        payload = _payload_for(s, t, 16, 32, params)  # all-absent block
+        tuples = run_block_machine(payload)
+        assert tuples
+        for *_, d in tuples:
+            assert d >= 0
+
+    def test_max_candidates_cap_respected(self):
+        s, t, _ = planted_pair(128, 30, seed=7)
+        params = UlamParams(n=128, x=0.4)
+        B = params.block_size
+        cfg = UlamConfig(max_candidates_per_block=10)
+        payload = _payload_for(s, t, 0, B, params, config=cfg)
+        assert len(run_block_machine(payload)) <= 10
+
+    def test_top_k_cap_keeps_smallest_distances(self):
+        s, t, _ = planted_pair(128, 20, seed=8)
+        params = UlamParams(n=128, x=0.4)
+        B = params.block_size
+        full = run_block_machine(_payload_for(s, t, 0, B, params,
+                                              config=UlamConfig.paper()))
+        capped = run_block_machine(_payload_for(
+            s, t, 0, B, params, config=UlamConfig(phase2_top_k=5)))
+        assert len(capped) == 5
+        best_full = sorted(d for *_, d in full)[:5]
+        assert sorted(d for *_, d in capped) == best_full
+
+
+class TestConfigPresets:
+    def test_paper_preset_has_no_caps(self):
+        cfg = UlamConfig.paper()
+        assert cfg.max_hits is None
+        assert cfg.phase2_top_k is None
+        assert cfg.hitting_rate_constant == 8.0
+
+    def test_default_preset_only_caps_phase2(self):
+        cfg = UlamConfig.default()
+        assert cfg.phase2_top_k == 256
+        assert cfg.max_hits is None
+
+    def test_practical_preset_caps_everything(self):
+        cfg = UlamConfig.practical()
+        assert cfg.max_hits is not None
+        assert cfg.max_candidates_per_block is not None

@@ -1,0 +1,109 @@
+"""Unit tests for Algorithm 2 (Ulam combining DP)."""
+
+import itertools
+
+from repro.ulam import combine_tuples
+
+import pytest
+
+
+class TestEmptyAndTrivial:
+    def test_no_tuples_returns_full_substitution(self):
+        assert combine_tuples([], 10, 10) == 10
+        assert combine_tuples([], 10, 14) == 14
+
+    def test_single_perfect_tuple(self):
+        # block covers all of s, window covers all of t, distance 0
+        assert combine_tuples([(0, 8, 0, 8, 0)], 8, 8) == 0
+
+    def test_single_tuple_with_tails(self):
+        # block [0,4) → window [0,4), d=1; remaining 4 of each side
+        assert combine_tuples([(0, 4, 0, 4, 1)], 8, 8) == 1 + 4
+
+    def test_head_cost_uses_max(self):
+        # block [4,8) → window [2,8): head is max(4, 2) = 4
+        assert combine_tuples([(4, 8, 2, 8, 0)], 8, 8) == 4
+
+
+class TestChaining:
+    def test_two_tuples_chain(self):
+        tuples = [(0, 4, 0, 4, 1), (4, 8, 4, 8, 2)]
+        assert combine_tuples(tuples, 8, 8) == 3
+
+    def test_gap_between_tuples_costs_max(self):
+        # gap of 2 in s and 3 in t between the tuples
+        tuples = [(0, 2, 0, 2, 0), (4, 8, 5, 9, 0)]
+        assert combine_tuples(tuples, 8, 9) == max(2, 3)
+
+    def test_overlapping_windows_cannot_chain(self):
+        # second window starts before first ends: chain disallowed, so
+        # the best solution uses one tuple plus substitution tails
+        tuples = [(0, 4, 0, 6, 0), (4, 8, 4, 8, 0)]
+        result = combine_tuples(tuples, 8, 8)
+        assert result == min(0 + max(4, 2),   # first tuple + tail
+                             max(4, 4) + 0)   # head + second tuple
+
+    def test_sum_mode_adds_gaps(self):
+        tuples = [(0, 2, 0, 2, 0), (4, 8, 5, 9, 0)]
+        assert combine_tuples(tuples, 8, 9, mode="sum") == 2 + 3
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            combine_tuples([], 4, 4, mode="avg")
+
+
+class TestOptimalityAgainstBruteForce:
+    def _brute(self, tuples, n_s, n_t):
+        """Try every chain of tuples (all subsets in every valid order)."""
+        best = max(n_s, n_t)
+        idx = sorted(range(len(tuples)), key=lambda a: tuples[a][0])
+        for r in range(1, len(tuples) + 1):
+            for combo in itertools.combinations(idx, r):
+                ls = [tuples[a] for a in combo]
+                ok = all(p[1] <= q[0] and p[3] <= q[2]
+                         for p, q in zip(ls, ls[1:]))
+                if not ok:
+                    continue
+                cost = max(ls[0][0], ls[0][2]) + ls[0][4]
+                for p, q in zip(ls, ls[1:]):
+                    cost += max(q[0] - p[1], q[2] - p[3]) + q[4]
+                cost += max(n_s - ls[-1][1], n_t - ls[-1][3])
+                best = min(best, cost)
+        return best
+
+    def test_matches_exhaustive_chaining(self, rng):
+        for _ in range(40):
+            n_s = n_t = 12
+            tuples = []
+            for _ in range(int(rng.integers(0, 6))):
+                lo = int(rng.integers(0, 10))
+                hi = int(rng.integers(lo + 1, 13))
+                sp = int(rng.integers(0, 10))
+                ep = int(rng.integers(sp, 13))
+                d = int(rng.integers(0, 5))
+                tuples.append((lo, hi, sp, ep, d))
+            assert combine_tuples(tuples, n_s, n_t) == \
+                self._brute(tuples, n_s, n_t)
+
+    def test_result_never_exceeds_trivial_bound(self, rng):
+        for _ in range(20):
+            tuples = [(0, 3, 0, 3, int(rng.integers(0, 30)))]
+            assert combine_tuples(tuples, 6, 6) <= 6
+
+
+class TestUpperBoundValidity:
+    def test_chain_cost_is_achievable(self, rng):
+        """The DP value must always upper-bound the true Ulam distance
+        when tuple distances are true distances."""
+        from repro.strings import ulam_distance
+        from repro.workloads.permutations import planted_pair
+        s, t, _ = planted_pair(24, 3, seed=11)
+        # build tuples from actual substring distances on a grid
+        tuples = []
+        for lo in range(0, 24, 8):
+            for sp in range(max(0, lo - 4), min(24, lo + 4) + 1, 2):
+                ep = min(sp + 8, 24)
+                d = ulam_distance(s[lo:lo + 8], t[sp:ep])
+                tuples.append((lo, lo + 8, sp, ep, d))
+        result = combine_tuples(tuples, 24, 24)
+        assert result >= ulam_distance(s, t)
