@@ -1,6 +1,7 @@
 """Analysis helpers: power-law exponent fits and report rendering."""
 
-from .report import format_kv, format_table
+from .report import format_kv, format_recovery, format_table
 from .scaling import PowerLawFit, fit_power_law
 
-__all__ = ["format_kv", "format_table", "PowerLawFit", "fit_power_law"]
+__all__ = ["format_kv", "format_recovery", "format_table", "PowerLawFit",
+           "fit_power_law"]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
-__all__ = ["format_table", "format_kv"]
+__all__ = ["format_table", "format_kv", "format_recovery"]
 
 
 def format_table(headers: Sequence[str],
@@ -52,3 +52,28 @@ def format_kv(title: str, data: Dict[str, object]) -> str:
     for k, v in data.items():
         lines.append(f"{k.ljust(width)} : {v}")
     return "\n".join(lines)
+
+
+def format_recovery(stats) -> str:
+    """Render the per-round recovery ledger of a (chaos) run.
+
+    *stats* is a :class:`repro.mpc.accounting.RunStats`.  One row per
+    round: machines, execution waves, retried/dropped machines, wasted
+    work, and the wasted-work share of the round's total computation.
+    A trailing ``TOTAL`` row aggregates the run.
+    """
+    rows = []
+    for r in stats.rounds:
+        burned = r.total_work + r.wasted_work
+        rows.append([r.name, r.machines, r.attempts, r.retried_machines,
+                     r.dropped_machines, r.wasted_work,
+                     (r.wasted_work / burned) if burned else 0.0])
+    total_burned = stats.total_work + stats.wasted_work
+    rows.append(["TOTAL", stats.total_machine_invocations,
+                 stats.total_attempts, stats.retried_machines,
+                 stats.dropped_machines, stats.wasted_work,
+                 (stats.wasted_work / total_burned) if total_burned
+                 else 0.0])
+    return format_table(
+        ["round", "machines", "attempts", "retried", "dropped",
+         "wasted_work", "waste_share"], rows)

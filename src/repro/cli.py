@@ -10,6 +10,13 @@ Commands
 ``hss``     run the HSS'19 baseline for comparison.
 ``beghs``   run the BEGHS'18-style O(log n)-round baseline.
 ``table1``  print all four analytic Table 1 rows for a given (n, x).
+``chaos``   run ``ulam``/``edit`` under a seeded fault plan and print
+            the per-round recovery ledger.
+
+The ``ulam`` and ``edit`` commands also accept ``--fault-plan`` /
+``--retries`` / ``--on-exhausted`` / ``--realtime`` to exercise the
+algorithm under injected machine failures (see
+docs/ARCHITECTURE.md, "Failure model & recovery").
 
 File inputs (``--s-file`` / ``--t-file``) are read as text; otherwise a
 seeded workload with a planted distance is generated.
@@ -27,6 +34,7 @@ from .analysis import format_kv, format_table
 from .baselines import beghs_edit_distance, hss_edit_distance, table1_rows
 from .editdistance import mpc_edit_distance
 from .extensions import mpc_lcs, mpc_lis
+from .params import EditParams, UlamParams
 from .strings import levenshtein, ulam_distance
 from .strings.types import as_array
 from .ulam import mpc_ulam
@@ -61,10 +69,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--exact", action="store_true",
                        help="also compute the exact distance (O(n^2))")
 
-    common(sub.add_parser("ulam", help="Theorem 4 (1+eps, 2 rounds)"),
-           default_x=0.4, default_eps=0.5)
-    common(sub.add_parser("edit", help="Theorem 9 (3+eps, <=4 rounds)"),
-           default_x=0.25, default_eps=1.0)
+    def chaos_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--fault-plan", type=str, default=None,
+                       metavar="SPEC",
+                       help="inject failures, e.g. "
+                            "'crash=0.05,straggle=0.1x4,corrupt=0.01'")
+        p.add_argument("--retries", type=int, default=3,
+                       help="max execution attempts per machine "
+                            "(default 3)")
+        p.add_argument("--on-exhausted", choices=("raise", "drop"),
+                       default="raise",
+                       help="what to do when retries run out")
+        p.add_argument("--realtime", action="store_true",
+                       help="stragglers really sleep their inflation")
+
+    p_ulam = sub.add_parser("ulam", help="Theorem 4 (1+eps, 2 rounds)")
+    common(p_ulam, default_x=0.4, default_eps=0.5)
+    chaos_opts(p_ulam)
+    p_edit = sub.add_parser("edit", help="Theorem 9 (3+eps, <=4 rounds)")
+    common(p_edit, default_x=0.25, default_eps=1.0)
+    chaos_opts(p_edit)
     common(sub.add_parser("lcs", help="LCS extension (2 rounds)"),
            default_x=0.25, default_eps=0.25)
     common(sub.add_parser("lis", help="LIS extension (2 rounds)"),
@@ -78,7 +102,28 @@ def build_parser() -> argparse.ArgumentParser:
     t1 = sub.add_parser("table1", help="print the analytic Table 1 rows")
     t1.add_argument("--n", type=int, default=10 ** 6)
     t1.add_argument("--x", type=float, default=0.25)
+
+    ch = sub.add_parser(
+        "chaos", help="run an algorithm under a fault plan and print "
+                      "the recovery ledger")
+    ch.add_argument("--algo", choices=("ulam", "edit"), default="ulam",
+                    help="which algorithm to exercise (default ulam)")
+    common(ch, default_x=0.25, default_eps=1.0)
+    chaos_opts(ch)
     return parser
+
+
+def _resilient_sim(args, memory_limit: int):
+    """Build a :class:`ResilientSimulator` from the chaos CLI flags,
+    or ``None`` when no fault plan was requested."""
+    if getattr(args, "fault_plan", None) is None:
+        return None
+    from .mpc import FaultPlan, ResilientSimulator, RetryPolicy
+    plan = FaultPlan.from_spec(args.fault_plan, seed=args.seed)
+    return ResilientSimulator(
+        memory_limit=memory_limit, fault_plan=plan,
+        retry_policy=RetryPolicy(max_attempts=args.retries),
+        on_exhausted=args.on_exhausted, realtime=args.realtime)
 
 
 def _load_or_generate(args, kind: str):
@@ -126,7 +171,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "ulam":
         s, t = _load_or_generate(args, "perm")
-        res = mpc_ulam(s, t, x=args.x, eps=args.eps, seed=args.seed)
+        sim = _resilient_sim(
+            args, UlamParams(n=len(s), x=args.x, eps=args.eps).memory_limit)
+        res = mpc_ulam(s, t, x=args.x, eps=args.eps, seed=args.seed,
+                       sim=sim)
         exact = ulam_distance(s, t) if args.exact else None
         _print_result("MPC Ulam distance (Theorem 4)", res.distance,
                       exact, res.stats, {"guarantee": f"1+{args.eps}"})
@@ -134,14 +182,49 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "edit":
         s, t = _load_or_generate(args, "str")
+        sim = _resilient_sim(
+            args, EditParams(n=max(len(s), 2), x=args.x,
+                             eps=args.eps).memory_limit)
         res = mpc_edit_distance(s, t, x=args.x, eps=args.eps,
-                                seed=args.seed)
+                                seed=args.seed, sim=sim)
         exact = levenshtein(s, t) if args.exact else None
         _print_result("MPC edit distance (Theorem 9)", res.distance,
                       exact, res.stats,
                       {"guarantee": f"3+{args.eps}",
                        "regime": res.regime,
                        "accepted_guess": res.accepted_guess})
+        return 0
+
+    if args.command == "chaos":
+        from .analysis import format_recovery
+        if args.fault_plan is None:
+            args.fault_plan = "crash=0.1,straggle=0.1x4"
+        if args.algo == "ulam":
+            s, t = _load_or_generate(args, "perm")
+            sim = _resilient_sim(
+                args,
+                UlamParams(n=len(s), x=args.x, eps=args.eps).memory_limit)
+            res = mpc_ulam(s, t, x=args.x, eps=args.eps, seed=args.seed,
+                           sim=sim)
+            exact = ulam_distance(s, t) if args.exact else None
+            title = "Chaos run: MPC Ulam distance (Theorem 4)"
+        else:
+            s, t = _load_or_generate(args, "str")
+            sim = _resilient_sim(
+                args, EditParams(n=max(len(s), 2), x=args.x,
+                                 eps=args.eps).memory_limit)
+            res = mpc_edit_distance(s, t, x=args.x, eps=args.eps,
+                                    seed=args.seed, sim=sim)
+            exact = levenshtein(s, t) if args.exact else None
+            title = "Chaos run: MPC edit distance (Theorem 9)"
+        _print_result(title, res.distance, exact, res.stats,
+                      {"fault_plan": sim.fault_plan.to_spec(),
+                       "retries": args.retries,
+                       "on_exhausted": args.on_exhausted})
+        print()
+        print("Recovery ledger")
+        print("---------------")
+        print(format_recovery(res.stats))
         return 0
 
     if args.command == "lcs":

@@ -5,14 +5,25 @@ repository runs on: BSP rounds over memory-capped machines with full
 resource accounting (rounds, machines, per-machine memory, total work and
 critical-path work).  See DESIGN.md §2 and §5 for the measurement
 conventions.
+
+The fault layer (:mod:`repro.mpc.faults`, :mod:`repro.mpc.chaos_executor`,
+:mod:`repro.mpc.retry`) additionally lets any algorithm run under a
+seeded, replayable failure model — machine crashes, stragglers, payload
+corruption — with bounded-retry recovery and per-round recovery
+accounting.  See docs/ARCHITECTURE.md, "Failure model & recovery".
 """
 
 from .accounting import (RoundStats, RunStats, WorkMeter, add_work,
                          isolated_meters)
-from .errors import MemoryLimitExceeded, MPCError, RoundProtocolError
+from .chaos_executor import FaultInjectingExecutor
+from .errors import (MachineCrashed, MemoryLimitExceeded, MPCError,
+                     RoundFailedError, RoundProtocolError)
 from .executor import Executor, ProcessPoolExecutor, SerialExecutor
+from .faults import (CorruptedOutput, FailedOutput, FaultDecision,
+                     FaultPlan, is_failed)
 from .machine import MachineResult, MachineTask, execute_task
 from .partition import block_of, blocks, chunk, pack_by_weight
+from .retry import ResilientSimulator, RetryPolicy
 from .simulator import MPCSimulator
 from .sizeof import sizeof
 from .trace import (load_run_stats, run_stats_from_dict,
@@ -22,7 +33,12 @@ from .utils import distributed_equal
 __all__ = [
     "RoundStats", "RunStats", "WorkMeter", "add_work",
     "MemoryLimitExceeded", "MPCError", "RoundProtocolError",
+    "MachineCrashed", "RoundFailedError",
     "Executor", "ProcessPoolExecutor", "SerialExecutor",
+    "FaultInjectingExecutor",
+    "CorruptedOutput", "FailedOutput", "FaultDecision", "FaultPlan",
+    "is_failed",
+    "ResilientSimulator", "RetryPolicy",
     "MachineResult", "MachineTask", "execute_task",
     "block_of", "blocks", "chunk", "pack_by_weight",
     "MPCSimulator", "sizeof",

@@ -106,6 +106,15 @@ class RoundStats:
     max_work: int = 0
     total_work: int = 0
     wall_seconds: float = 0.0
+    # Recovery accounting (nonzero only under a fault plan; see
+    # repro.mpc.retry.ResilientSimulator).  ``attempts`` is the number of
+    # execution waves the round needed (1 = no failures); ``wasted_work``
+    # is the abstract work of attempts whose output was discarded.
+    attempts: int = 1
+    retried_machines: int = 0
+    dropped_machines: int = 0
+    wasted_work: int = 0
+    wasted_wall_seconds: float = 0.0
 
     def observe_machine(self, input_words: int, output_words: int,
                         work: int) -> None:
@@ -171,6 +180,28 @@ class RunStats:
         """Wall-clock time spent executing rounds."""
         return sum(r.wall_seconds for r in self.rounds)
 
+    # -- recovery aggregates (nonzero only under a fault plan) ----------
+    @property
+    def total_attempts(self) -> int:
+        """Sum of execution waves over all rounds (== n_rounds when no
+        machine ever failed)."""
+        return sum(r.attempts for r in self.rounds)
+
+    @property
+    def retried_machines(self) -> int:
+        """Machines that needed at least one re-execution, over all rounds."""
+        return sum(r.retried_machines for r in self.rounds)
+
+    @property
+    def dropped_machines(self) -> int:
+        """Machines whose contribution was dropped after retry exhaustion."""
+        return sum(r.dropped_machines for r in self.rounds)
+
+    @property
+    def wasted_work(self) -> int:
+        """Abstract work spent on attempts whose output was discarded."""
+        return sum(r.wasted_work for r in self.rounds)
+
     def merge(self, other: "RunStats") -> "RunStats":
         """Concatenate two runs (used when sub-algorithms run in parallel).
 
@@ -192,6 +223,11 @@ class RunStats:
             combined.max_work = r.max_work
             combined.total_work = r.total_work
             combined.wall_seconds = r.wall_seconds
+            combined.attempts = r.attempts
+            combined.retried_machines = r.retried_machines
+            combined.dropped_machines = r.dropped_machines
+            combined.wasted_work = r.wasted_work
+            combined.wasted_wall_seconds = r.wasted_wall_seconds
             if i < len(shorter):
                 o = shorter[i]
                 combined.machines += o.machines
@@ -205,12 +241,32 @@ class RunStats:
                 combined.total_work += o.total_work
                 combined.wall_seconds = max(combined.wall_seconds,
                                             o.wall_seconds)
+                # Concurrent siblings: retry waves overlap (max), while
+                # per-machine recovery counts and wasted work add up.
+                combined.attempts = max(combined.attempts, o.attempts)
+                combined.retried_machines += o.retried_machines
+                combined.dropped_machines += o.dropped_machines
+                combined.wasted_work += o.wasted_work
+                combined.wasted_wall_seconds = max(
+                    combined.wasted_wall_seconds, o.wasted_wall_seconds)
             merged.rounds.append(combined)
         return merged
 
+    @property
+    def recovery_active(self) -> bool:
+        """True when any round saw a retry, a drop, or wasted work."""
+        return bool(self.retried_machines or self.dropped_machines
+                    or self.wasted_work
+                    or self.total_attempts != self.n_rounds)
+
     def summary(self) -> dict:
-        """Return the headline numbers as a plain dict (for reports)."""
-        return {
+        """Return the headline numbers as a plain dict (for reports).
+
+        The recovery block is included only when recovery actually
+        happened, so fault-free ledgers stay byte-identical to the
+        pre-chaos format.
+        """
+        out = {
             "rounds": self.n_rounds,
             "max_machines": self.max_machines,
             "max_memory_words": self.max_memory_words,
@@ -219,3 +275,11 @@ class RunStats:
             "total_communication_words": self.total_communication_words,
             "wall_seconds": round(self.wall_seconds, 6),
         }
+        if self.recovery_active:
+            out.update({
+                "attempts": self.total_attempts,
+                "retried_machines": self.retried_machines,
+                "dropped_machines": self.dropped_machines,
+                "wasted_work": self.wasted_work,
+            })
+        return out

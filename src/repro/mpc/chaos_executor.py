@@ -1,0 +1,155 @@
+"""Fault-injecting executor: applies a :class:`FaultPlan` at the task layer.
+
+Failures happen exactly where they would on a real cluster — in the
+executor, between the scheduler handing out a task and the task's output
+being collected.  :class:`FaultInjectingExecutor` wraps any inner
+:class:`~repro.mpc.executor.Executor` (serial or process pool) and, per
+task, consults the plan:
+
+* **crash** — the machine function runs, then raises
+  :class:`~repro.mpc.errors.MachineCrashed`; the exception is converted
+  to a :class:`~repro.mpc.faults.FailedOutput` sentinel at the task
+  boundary (a process pool cannot propagate per-task exceptions without
+  aborting its siblings).  The attempt's work is genuinely wasted.
+* **straggle** — the recorded work and wall time are inflated by the
+  sampled factor; with ``realtime=True`` the inflation is also slept
+  inside the worker, so the round's wall clock really stretches.
+* **corrupt** — the output is replaced by a
+  :class:`~repro.mpc.faults.CorruptedOutput` sentinel that fails
+  downstream validation.
+
+The wrapper callables are top-level picklable objects, so injection works
+identically under :class:`~repro.mpc.executor.ProcessPoolExecutor`.
+Unexpected exceptions from the machine function itself are captured as
+``FailedOutput(kind="error")`` — a resilient simulator can retry genuine
+bugs-in-production the same way it retries injected crashes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from .errors import MachineCrashed
+from .executor import Executor, SerialExecutor
+from .faults import CorruptedOutput, FailedOutput, FaultDecision, FaultPlan
+from .machine import MachineResult, MachineTask
+
+__all__ = ["FaultInjectingExecutor"]
+
+
+@dataclass(frozen=True)
+class _InjectedCall:
+    """Picklable wrapper running one machine function under a decision."""
+
+    fn: Callable[[Any], Any]
+    decision: FaultDecision
+    round_name: str
+    machine_index: int
+    attempt: int
+    realtime: bool
+
+    def __call__(self, payload: Any) -> Any:
+        start = time.perf_counter()
+        try:
+            output = self.fn(payload)
+        except Exception as exc:  # genuine machine bug: retryable too
+            return FailedOutput(kind="error", round_name=self.round_name,
+                                machine_index=self.machine_index,
+                                attempt=self.attempt, message=repr(exc))
+        if self.realtime and self.decision.straggle_factor > 1.0:
+            time.sleep((self.decision.straggle_factor - 1.0)
+                       * (time.perf_counter() - start))
+        try:
+            if self.decision.crash:
+                raise MachineCrashed(self.round_name, self.machine_index,
+                                     self.attempt)
+        except MachineCrashed as exc:
+            return FailedOutput(kind="crash", round_name=self.round_name,
+                                machine_index=self.machine_index,
+                                attempt=self.attempt, message=str(exc))
+        if self.decision.corrupt:
+            return CorruptedOutput(self.round_name, self.machine_index,
+                                   self.attempt)
+        return output
+
+
+class FaultInjectingExecutor(Executor):
+    """Wrap an inner executor and apply a fault plan to every task.
+
+    Parameters
+    ----------
+    inner:
+        The executor that actually runs the (wrapped) tasks; defaults to
+        :class:`~repro.mpc.executor.SerialExecutor`.
+    plan:
+        The seeded :class:`~repro.mpc.faults.FaultPlan` to apply.
+    realtime:
+        When ``True`` stragglers really sleep their inflation inside the
+        worker (the ``--realtime`` CLI knob); otherwise only the recorded
+        work/wall numbers are inflated.
+
+    The executor needs to know which round and attempt a batch of tasks
+    belongs to (fault decisions are keyed on both); a resilient simulator
+    calls :meth:`run_attempt` with that context.  The plain
+    :meth:`run` protocol method is attempt 1 of an anonymous round, which
+    keeps the wrapper usable — though degraded to sentinel passthrough —
+    under a fault-unaware :class:`~repro.mpc.simulator.MPCSimulator`.
+    """
+
+    def __init__(self, inner: Optional[Executor] = None,
+                 plan: Optional[FaultPlan] = None,
+                 realtime: bool = False) -> None:
+        self.inner = inner or SerialExecutor()
+        self.plan = plan or FaultPlan()
+        self.realtime = realtime
+        self._round_name = ""
+
+    # ------------------------------------------------------------------
+    def set_round(self, name: str) -> None:
+        """Name the round the next :meth:`run` call belongs to."""
+        self._round_name = name
+
+    def run(self, tasks: Sequence[MachineTask]) -> List[MachineResult]:
+        return self.run_attempt(tasks, range(len(tasks)), attempt=1)
+
+    def run_attempt(self, tasks: Sequence[MachineTask],
+                    indices: Sequence[int],
+                    attempt: int) -> List[MachineResult]:
+        """Run one (re-)execution wave of a round.
+
+        Parameters
+        ----------
+        tasks:
+            The tasks to run — on a retry, only the failed subset.
+        indices:
+            The *original* machine index of each task, so a machine keeps
+            its identity (and its fault stream) across retries.
+        attempt:
+            1-based attempt number; retried attempts re-roll the dice.
+        """
+        tasks = list(tasks)
+        indices = list(indices)
+        if len(tasks) != len(indices):
+            raise ValueError("tasks and indices must align")
+        wrapped = []
+        decisions = []
+        for task, index in zip(tasks, indices):
+            decision = self.plan.decide(self._round_name, index, attempt)
+            decisions.append(decision)
+            wrapped.append(MachineTask(
+                fn=_InjectedCall(fn=task.fn, decision=decision,
+                                 round_name=self._round_name,
+                                 machine_index=index, attempt=attempt,
+                                 realtime=self.realtime),
+                payload=task.payload))
+        results = self.inner.run(wrapped)
+        for result, decision in zip(results, decisions):
+            if decision.straggle_factor > 1.0:
+                result.work = int(result.work * decision.straggle_factor)
+                result.wall_seconds *= decision.straggle_factor
+        return results
+
+    def close(self) -> None:
+        self.inner.close()

@@ -60,6 +60,17 @@ class ProcessPoolExecutor(Executor):
     chunksize:
         Tasks per pickled batch; larger values amortise IPC overhead for
         many small machines.
+
+    Pool lifecycle is explicit: workers are spawned lazily on the first
+    non-empty :meth:`run`, released by :meth:`close` (or leaving the
+    ``with`` block), and *respawned* if :meth:`run` is called again after
+    a close — each close/run cycle is a fresh pool, never a zombie handle
+    to a shut-down one.  Prefer the context-manager form so workers are
+    always reclaimed::
+
+        with ProcessPoolExecutor(max_workers=8) as pool:
+            sim = MPCSimulator(memory_limit=limit, executor=pool)
+            ...
     """
 
     def __init__(self, max_workers: int | None = None,
@@ -67,6 +78,11 @@ class ProcessPoolExecutor(Executor):
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self.chunksize = chunksize
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    @property
+    def running(self) -> bool:
+        """True while a worker pool is alive (between first run and close)."""
+        return self._pool is not None
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:

@@ -1,0 +1,227 @@
+"""Deterministic fault plans: which machines fail, how, and when.
+
+The simulator's guarantees (Theorems 4 and 9) are stated for an idealised
+MPC model in which every machine finishes every round.  Real clusters do
+not behave like that: tasks crash, straggle, and occasionally return
+garbage, and MapReduce-style infrastructures answer with task retry and
+speculative execution.  A :class:`FaultPlan` makes that failure behaviour
+a first-class, *seeded* component of the simulation, so every algorithm
+in the repository can be exercised under chaos and every observed failure
+is replayable.
+
+Determinism contract
+--------------------
+A plan decides the fate of an attempt purely from
+``(plan.seed, round_name, machine_index, attempt)`` via a keyed hash.
+Two runs with the same plan therefore inject byte-identical failures —
+under the serial *and* the process-pool executor — and a retried attempt
+(``attempt`` > 1) re-rolls the dice, exactly like a cluster rescheduling
+a task on a fresh container.
+
+Fault kinds
+-----------
+crash
+    The machine raises :class:`~repro.mpc.errors.MachineCrashed` *after*
+    doing its work (the work is genuinely wasted, as it is when a
+    container dies while writing its output).
+straggle
+    The machine finishes but its recorded work and wall time are
+    inflated by a factor sampled uniformly from ``[1, max_factor]``;
+    under a real-time executor the inflation is also slept.
+corrupt
+    The machine's output is replaced by a :class:`CorruptedOutput`
+    sentinel that fails downstream validation.
+
+Typical usage::
+
+    plan = FaultPlan.from_spec("crash=0.05,straggle=0.1x4", seed=7)
+    decision = plan.decide("ulam/1-candidates", machine_index=3, attempt=1)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+__all__ = ["FaultDecision", "FaultPlan", "CorruptedOutput", "FailedOutput",
+           "is_failed"]
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The fate of one machine attempt, as drawn from a plan."""
+
+    crash: bool = False
+    corrupt: bool = False
+    straggle_factor: float = 1.0
+
+    @property
+    def clean(self) -> bool:
+        """True when the attempt runs exactly as in the idealised model."""
+        return (not self.crash and not self.corrupt
+                and self.straggle_factor == 1.0)
+
+
+CLEAN = FaultDecision()
+
+
+@dataclass(frozen=True)
+class CorruptedOutput:
+    """Sentinel emitted by a machine whose payload was corrupted.
+
+    It deliberately carries no usable data, so any consumer that fails
+    to validate its inputs will break loudly rather than silently fold
+    garbage into the answer.  :class:`~repro.mpc.retry.ResilientSimulator`
+    recognises it and reschedules the machine instead.
+    """
+
+    round_name: str
+    machine_index: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class FailedOutput:
+    """Executor-layer record of a machine attempt that did not produce
+    usable output (crash or unexpected exception).
+
+    The process-pool executor cannot propagate per-machine exceptions
+    without aborting the whole round, so the fault-injecting executor
+    converts them into this sentinel at the task boundary; the resilient
+    simulator turns sentinels back into retries (or
+    :class:`~repro.mpc.errors.RoundFailedError`).
+    """
+
+    kind: str                   # "crash" | "error"
+    round_name: str
+    machine_index: int
+    attempt: int
+    message: str = ""
+
+
+def is_failed(output: object) -> bool:
+    """True when *output* is unusable and the machine should be retried."""
+    return isinstance(output, (FailedOutput, CorruptedOutput))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded per-attempt failure probabilities for every machine.
+
+    Parameters
+    ----------
+    crash:
+        Probability that an attempt crashes (raises
+        :class:`~repro.mpc.errors.MachineCrashed` after doing its work).
+    straggle:
+        Probability that an attempt straggles.
+    straggle_factor:
+        Upper bound of the uniform ``[1, straggle_factor]`` inflation
+        applied to a straggler's recorded work and wall time.
+    corrupt:
+        Probability that an attempt's output is replaced by a
+        :class:`CorruptedOutput` sentinel.
+    seed:
+        Root seed of the keyed hash; two plans with equal probabilities
+        but different seeds fail different machines.
+    """
+
+    crash: float = 0.0
+    straggle: float = 0.0
+    straggle_factor: float = 4.0
+    corrupt: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("crash", "straggle", "corrupt"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1], "
+                                 f"got {p!r}")
+        if self.straggle_factor < 1.0:
+            raise ValueError("straggle_factor must be >= 1, got "
+                             f"{self.straggle_factor!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a CLI-style plan spec.
+
+        The spec is a comma-separated list of ``kind=probability`` terms;
+        ``straggle`` optionally appends ``x<factor>``::
+
+            FaultPlan.from_spec("crash=0.05,straggle=0.1x4,corrupt=0.01")
+
+        A ``seed=<int>`` term overrides the *seed* argument.
+        """
+        kwargs: dict = {"seed": seed}
+        if spec.strip():
+            for term in spec.split(","):
+                term = term.strip()
+                if not term:
+                    continue
+                if "=" not in term:
+                    raise ValueError(
+                        f"bad fault-plan term {term!r} (expected kind=value)")
+                key, _, value = term.partition("=")
+                key = key.strip()
+                value = value.strip()
+                if key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key == "crash" or key == "corrupt":
+                    kwargs[key] = float(value)
+                elif key == "straggle":
+                    prob, _, factor = value.partition("x")
+                    kwargs["straggle"] = float(prob)
+                    if factor:
+                        kwargs["straggle_factor"] = float(factor)
+                else:
+                    raise ValueError(
+                        f"unknown fault kind {key!r} in spec {spec!r} "
+                        "(known: crash, straggle, corrupt, seed)")
+        return cls(**kwargs)
+
+    def to_spec(self) -> str:
+        """Inverse of :meth:`from_spec` (used by reports and repr)."""
+        parts = []
+        if self.crash:
+            parts.append(f"crash={self.crash:g}")
+        if self.straggle:
+            parts.append(f"straggle={self.straggle:g}"
+                         f"x{self.straggle_factor:g}")
+        if self.corrupt:
+            parts.append(f"corrupt={self.corrupt:g}")
+        parts.append(f"seed={self.seed}")
+        return ",".join(parts)
+
+    # ------------------------------------------------------------------
+    def _rng(self, round_name: str, machine_index: int,
+             attempt: int) -> random.Random:
+        key = f"{self.seed}:{round_name}:{machine_index}:{attempt}"
+        digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+        return random.Random(int.from_bytes(digest, "big"))
+
+    def decide(self, round_name: str, machine_index: int,
+               attempt: int = 1) -> FaultDecision:
+        """Draw the (deterministic) fate of one machine attempt.
+
+        The draw order is fixed — crash, corrupt, straggle — so adding a
+        later fault kind to a plan never changes the outcomes of earlier
+        kinds under the same seed.  A crash preempts corruption.
+        """
+        if self.crash == 0.0 and self.straggle == 0.0 and self.corrupt == 0.0:
+            return CLEAN
+        rng = self._rng(round_name, machine_index, attempt)
+        crash = rng.random() < self.crash
+        corrupt = (not crash) and rng.random() < self.corrupt
+        factor = 1.0
+        if rng.random() < self.straggle:
+            factor = rng.uniform(1.0, self.straggle_factor)
+        return FaultDecision(crash=crash, corrupt=corrupt,
+                             straggle_factor=factor)
+
+    # ------------------------------------------------------------------
+    def expected_failure_rate(self) -> float:
+        """Probability that a single attempt needs to be re-executed."""
+        return 1.0 - (1.0 - self.crash) * (1.0 - self.corrupt)

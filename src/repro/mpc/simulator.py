@@ -14,6 +14,11 @@ Typical usage::
     outputs = sim.run_round("phase-1", fn, payloads)
     ...
     sim.stats.summary()
+
+To run the same rounds under an injected failure model (machine crashes,
+stragglers, corrupted payloads) with bounded-retry recovery, use the
+:class:`repro.mpc.retry.ResilientSimulator` subclass — without a fault
+plan it executes this class's ``run_round`` unchanged.
 """
 
 from __future__ import annotations

@@ -4,6 +4,13 @@ Benchmark pipelines and notebooks want the per-round ledger as data, not
 as Python objects; this module round-trips :class:`RunStats` through
 plain dicts / JSON files so experiment results can be archived next to
 ``benchmarks/results/`` and re-plotted without re-running.
+
+Field typing is explicit: every serialised round field has a declared
+target type in :data:`_FIELD_TYPES`, and a stored value that does not fit
+it raises (a float in an int field used to be silently truncated by the
+old default-value-derived coercion).  Ledgers written before the recovery
+counters existed load fine — missing fields keep their dataclass
+defaults.
 """
 
 from __future__ import annotations
@@ -17,10 +24,55 @@ from .accounting import RoundStats, RunStats
 __all__ = ["run_stats_to_dict", "run_stats_from_dict", "save_run_stats",
            "load_run_stats"]
 
-_ROUND_FIELDS = ("name", "machines", "max_input_words",
-                 "max_output_words", "total_input_words",
-                 "total_output_words", "max_work", "total_work",
-                 "wall_seconds")
+# Explicit serialisation schema: field -> target type.  Order is the
+# column order of the exported per-round dicts.
+_FIELD_TYPES: Dict[str, type] = {
+    "name": str,
+    "machines": int,
+    "max_input_words": int,
+    "max_output_words": int,
+    "total_input_words": int,
+    "total_output_words": int,
+    "max_work": int,
+    "total_work": int,
+    "wall_seconds": float,
+    "attempts": int,
+    "retried_machines": int,
+    "dropped_machines": int,
+    "wasted_work": int,
+    "wasted_wall_seconds": float,
+}
+
+_ROUND_FIELDS = tuple(_FIELD_TYPES)
+
+
+def _coerce(field: str, value: object) -> object:
+    """Convert *value* to the declared type of *field*, or raise.
+
+    ``int`` fields accept bools/ints and floats that are exact integers
+    (JSON readers may produce ``3.0``); anything lossy raises
+    ``ValueError`` instead of silently truncating.  ``float`` fields
+    accept any real number; ``str`` fields accept only strings.
+    """
+    target = _FIELD_TYPES[field]
+    if target is str:
+        if not isinstance(value, str):
+            raise ValueError(
+                f"field {field!r} expects str, got {value!r}")
+        return value
+    if target is int:
+        if isinstance(value, bool) or isinstance(value, int):
+            return int(value)
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise ValueError(
+            f"field {field!r} expects an integer, got {value!r}")
+    if target is float:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        raise ValueError(
+            f"field {field!r} expects a number, got {value!r}")
+    raise AssertionError(f"unhandled target type for {field!r}")
 
 
 def run_stats_to_dict(stats: RunStats) -> Dict[str, object]:
@@ -33,12 +85,18 @@ def run_stats_to_dict(stats: RunStats) -> Dict[str, object]:
 
 
 def run_stats_from_dict(data: Dict[str, object]) -> RunStats:
-    """Inverse of :func:`run_stats_to_dict` (summary is recomputed)."""
+    """Inverse of :func:`run_stats_to_dict` (summary is recomputed).
+
+    Raises ``ValueError`` when a stored value does not fit its field's
+    declared type.  Fields absent from the stored dict (ledgers written
+    by older versions) keep their :class:`RoundStats` defaults.
+    """
     rounds: List[RoundStats] = []
     for rd in data["rounds"]:              # type: ignore[index]
-        r = RoundStats(name=str(rd["name"]))
+        r = RoundStats(name=_coerce("name", rd["name"]))
         for f in _ROUND_FIELDS[1:]:
-            setattr(r, f, type(getattr(r, f))(rd[f]))
+            if f in rd:
+                setattr(r, f, _coerce(f, rd[f]))
         rounds.append(r)
     return RunStats(rounds=rounds)
 

@@ -87,7 +87,12 @@ def mpc_ulam(s, t, x: float = 0.25, eps: float = 0.5,
     sim:
         Optional pre-configured simulator (e.g. with a process-pool
         executor or a custom memory cap).  By default a strict simulator
-        with the paper's memory limit is created.
+        with the paper's memory limit is created.  Pass a
+        :class:`repro.mpc.ResilientSimulator` with a fault plan to run
+        the algorithm under injected machine failures with bounded-retry
+        recovery; with ``on_exhausted="drop"`` the combine step tolerates
+        lost block machines (the candidate set is only pruned) and the
+        result stays a valid upper bound.
     config:
         Algorithm-1 constants (default: paper-faithful).
     seed:

@@ -80,3 +80,48 @@ class TestCommands:
         assert main(["ulam", "--n", "128", "--budget", "2"]) == 0
         out = capsys.readouterr().out
         assert "exact" not in out
+
+
+class TestChaosCommands:
+    def test_chaos_defaults_print_recovery_ledger(self, capsys):
+        assert main(["chaos", "--algo", "ulam", "--n", "256",
+                     "--budget", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos run" in out
+        assert "Recovery ledger" in out
+        assert "fault_plan" in out
+        assert "retried" in out
+
+    def test_chaos_edit_runs(self, capsys):
+        assert main(["chaos", "--algo", "edit", "--n", "128",
+                     "--budget", "4", "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 9" in out and "Recovery ledger" in out
+
+    def test_fault_plan_flag_on_ulam(self, capsys):
+        assert main(["ulam", "--n", "256", "--budget", "8",
+                     "--fault-plan", "crash=0.2", "--retries", "5",
+                     "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4" in out and "ratio" in out
+
+    def test_fault_plan_flag_on_edit_with_drop(self, capsys):
+        assert main(["edit", "--n", "128", "--budget", "4",
+                     "--fault-plan", "crash=0.1", "--on-exhausted",
+                     "drop"]) == 0
+        assert "Theorem 9" in capsys.readouterr().out
+
+    def test_chaos_runs_are_replayable(self, capsys):
+        argv = ["chaos", "--algo", "ulam", "--n", "256", "--budget", "8",
+                "--fault-plan", "crash=0.15", "--seed", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        strip = lambda s: [l for l in s.splitlines()
+                           if "wall_seconds" not in l]
+        assert strip(first) == strip(second)
+
+    def test_bad_fault_plan_spec_errors(self):
+        with pytest.raises(ValueError):
+            main(["ulam", "--n", "128", "--fault-plan", "explode=1"])

@@ -68,3 +68,26 @@ class TestProcessPoolExecutor:
             outs = sim.run_round("r", _square, [1, 2, 3])
         assert outs == [1, 4, 9]
         assert sim.stats.rounds[0].total_work == 6
+
+    def test_close_run_close_cycles_pool_explicitly(self):
+        # Regression: run() after close() must respawn a fresh pool (and
+        # report it via `running`), not reuse a shut-down handle.
+        pool = ProcessPoolExecutor(max_workers=2)
+        assert not pool.running
+        assert [r.output for r in pool.run([MachineTask(_square, 3)])] \
+            == [9]
+        assert pool.running
+        pool.close()
+        assert not pool.running
+        assert [r.output for r in pool.run([MachineTask(_square, 4)])] \
+            == [16]
+        assert pool.running
+        pool.close()
+        assert not pool.running
+
+    def test_double_close_is_idempotent(self):
+        pool = ProcessPoolExecutor(max_workers=2)
+        pool.run([MachineTask(_square, 2)])
+        pool.close()
+        pool.close()
+        assert not pool.running

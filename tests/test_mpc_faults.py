@@ -1,0 +1,163 @@
+"""Unit tests for fault plans and the fault-injecting executor."""
+
+import pytest
+
+from repro.mpc import (CorruptedOutput, FailedOutput, FaultDecision,
+                       FaultInjectingExecutor, FaultPlan, MachineTask,
+                       ProcessPoolExecutor, SerialExecutor, add_work,
+                       is_failed)
+
+
+def _work10(payload):
+    add_work(10)
+    return payload * 2
+
+
+def _boom(payload):
+    raise ValueError("genuine machine bug")
+
+
+class TestFaultPlanSpec:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.from_spec("crash=0.05,straggle=0.1x4,corrupt=0.01",
+                                   seed=3)
+        assert plan.crash == 0.05
+        assert plan.straggle == 0.1
+        assert plan.straggle_factor == 4.0
+        assert plan.corrupt == 0.01
+        assert plan.seed == 3
+
+    def test_parse_straggle_without_factor_keeps_default(self):
+        plan = FaultPlan.from_spec("straggle=0.2")
+        assert plan.straggle == 0.2
+        assert plan.straggle_factor == 4.0
+
+    def test_seed_term_overrides_argument(self):
+        assert FaultPlan.from_spec("crash=0.1,seed=9", seed=1).seed == 9
+
+    def test_empty_spec_is_no_faults(self):
+        plan = FaultPlan.from_spec("")
+        assert plan.expected_failure_rate() == 0.0
+
+    def test_to_spec_round_trips(self):
+        plan = FaultPlan.from_spec("crash=0.3,straggle=0.2x8,corrupt=0.1",
+                                   seed=42)
+        assert FaultPlan.from_spec(plan.to_spec()) == plan
+
+    @pytest.mark.parametrize("bad", ["crash", "explode=0.5", "crash=2.0",
+                                     "straggle=0.5x0.5"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec(bad)
+
+
+class TestFaultPlanDecide:
+    def test_deterministic_per_key(self):
+        plan = FaultPlan(crash=0.3, straggle=0.3, corrupt=0.3, seed=5)
+        for attempt in (1, 2, 3):
+            a = plan.decide("round", 7, attempt)
+            b = plan.decide("round", 7, attempt)
+            assert a == b
+
+    def test_varies_across_machines_and_attempts(self):
+        plan = FaultPlan(crash=0.5, seed=5)
+        fates = {(i, a): plan.decide("r", i, a).crash
+                 for i in range(50) for a in (1, 2)}
+        assert any(fates.values()) and not all(fates.values())
+
+    def test_different_seeds_differ(self):
+        crashes_a = [FaultPlan(crash=0.5, seed=1).decide("r", i).crash
+                     for i in range(64)]
+        crashes_b = [FaultPlan(crash=0.5, seed=2).decide("r", i).crash
+                     for i in range(64)]
+        assert crashes_a != crashes_b
+
+    def test_empirical_rate_matches_probability(self):
+        plan = FaultPlan(crash=0.25, seed=0)
+        hits = sum(plan.decide("r", i).crash for i in range(2000))
+        assert 0.20 < hits / 2000 < 0.30
+
+    def test_zero_plan_is_clean_fast_path(self):
+        d = FaultPlan().decide("r", 0)
+        assert d.clean and d == FaultDecision()
+
+    def test_crash_preempts_corrupt(self):
+        plan = FaultPlan(crash=1.0, corrupt=1.0, seed=0)
+        d = plan.decide("r", 0)
+        assert d.crash and not d.corrupt
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(straggle_factor=0.5)
+
+
+class TestFaultInjectingExecutor:
+    def _run(self, plan, fn=_work10, n=8, attempt=1, inner=None,
+             realtime=False):
+        ex = FaultInjectingExecutor(inner=inner, plan=plan,
+                                    realtime=realtime)
+        ex.set_round("r")
+        tasks = [MachineTask(fn=fn, payload=i) for i in range(n)]
+        return ex.run_attempt(tasks, range(n), attempt)
+
+    def test_no_plan_passthrough(self):
+        results = self._run(FaultPlan())
+        assert [r.output for r in results] == [i * 2 for i in range(8)]
+        assert all(r.work == 10 for r in results)
+
+    def test_crash_becomes_failed_output(self):
+        results = self._run(FaultPlan(crash=1.0, seed=0))
+        for i, r in enumerate(results):
+            assert isinstance(r.output, FailedOutput)
+            assert r.output.kind == "crash"
+            assert r.output.machine_index == i
+            assert is_failed(r.output)
+        # the crashed attempt still burned its work
+        assert all(r.work == 10 for r in results)
+
+    def test_corrupt_becomes_sentinel(self):
+        results = self._run(FaultPlan(corrupt=1.0, seed=0))
+        for r in results:
+            assert isinstance(r.output, CorruptedOutput)
+            assert is_failed(r.output)
+
+    def test_straggle_inflates_work_and_wall(self):
+        clean = self._run(FaultPlan())
+        slow = self._run(FaultPlan(straggle=1.0, straggle_factor=8.0,
+                                   seed=0))
+        assert sum(r.work for r in slow) > sum(r.work for r in clean)
+        assert all(r.work >= 10 for r in slow)
+
+    def test_machine_exception_captured_not_propagated(self):
+        results = self._run(FaultPlan(), fn=_boom, n=2)
+        for r in results:
+            assert isinstance(r.output, FailedOutput)
+            assert r.output.kind == "error"
+            assert "ValueError" in r.output.message
+
+    def test_plain_run_protocol_is_attempt_one(self):
+        plan = FaultPlan(crash=0.5, seed=1)
+        ex = FaultInjectingExecutor(plan=plan)
+        ex.set_round("r")
+        tasks = [MachineTask(fn=_work10, payload=i) for i in range(16)]
+        via_run = [is_failed(r.output) for r in ex.run(tasks)]
+        via_attempt = [is_failed(r.output)
+                       for r in ex.run_attempt(tasks, range(16), 1)]
+        assert via_run == via_attempt
+
+    def test_pool_and_serial_inject_identically(self):
+        plan = FaultPlan(crash=0.4, corrupt=0.2, seed=9)
+        serial = self._run(plan, n=12)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            pooled = self._run(plan, n=12, inner=pool)
+        assert ([is_failed(r.output) for r in serial]
+                == [is_failed(r.output) for r in pooled])
+        assert ([type(r.output).__name__ for r in serial]
+                == [type(r.output).__name__ for r in pooled])
+
+    def test_misaligned_indices_rejected(self):
+        ex = FaultInjectingExecutor(plan=FaultPlan())
+        with pytest.raises(ValueError):
+            ex.run_attempt([MachineTask(fn=_work10, payload=1)], [0, 1], 1)

@@ -129,3 +129,47 @@ class TestSpawnAbsorb:
         sim.absorb(sub)
         assert sim.stats.n_rounds == 2
         assert sim.stats.total_work == 13
+
+    def test_absorb_models_concurrent_siblings(self):
+        # Merged positional rounds behave like machines sharing a
+        # barrier: machine counts and totals add, wall time and memory
+        # maxima take the max (the rounds ran side by side, not after
+        # one another).
+        sim = MPCSimulator()
+        sim.run_round("r", _metered, [{"work": 5}, {"work": 9}])
+        sim.stats.rounds[0].wall_seconds = 2.0
+        sub = sim.spawn()
+        sub.run_round("r", _metered, [{"work": 30}])
+        sub.stats.rounds[0].wall_seconds = 3.0
+        sim.absorb(sub)
+        r = sim.stats.rounds[0]
+        assert r.machines == 3
+        assert r.total_work == 44
+        assert r.max_work == 30
+        assert r.wall_seconds == 3.0    # concurrent: max, not sum
+        assert sim.stats.max_machines == 3
+
+    def test_absorb_concatenates_nonstrict_violations(self):
+        sim = MPCSimulator(memory_limit=10, strict=False)
+        sim.run_round("r", _double, [list(range(50))])
+        sub = sim.spawn()
+        assert sub.strict is False      # spawn shares the strictness
+        sub.run_round("r", _double, [list(range(60))])
+        # each oversized machine violates on input AND output
+        assert len(sim.violations) == len(sub.violations) == 2
+        sim.absorb(sub)
+        assert len(sim.violations) == 4
+        sizes = sorted({v.size for v in sim.violations})
+        assert sizes == [51, 61]        # both runs' violations survived
+
+    def test_absorb_longer_sub_run_appends_tail_rounds(self):
+        sim = MPCSimulator()
+        sim.run_round("a", _metered, [{"work": 1}])
+        sub = sim.spawn()
+        sub.run_round("a", _metered, [{"work": 2}])
+        sub.run_round("b", _metered, [{"work": 3}])
+        sub.run_round("c", _metered, [{"work": 4}])
+        sim.absorb(sub)
+        assert [r.name for r in sim.stats.rounds] == ["a", "b", "c"]
+        assert sim.stats.total_work == 10
+        assert sim.stats.rounds[0].machines == 2

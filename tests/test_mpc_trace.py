@@ -1,0 +1,85 @@
+"""Unit tests for the ledger serialisation schema (repro.mpc.trace).
+
+The round-trip test deliberately sets a *non-default* value for every
+serialised field: the old coercion derived each field's target type from
+its default value, which silently truncated floats stored in
+int-defaulted fields — exactly the class of bug these tests pin down.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.mpc import RoundStats, RunStats, run_stats_from_dict, \
+    run_stats_to_dict
+from repro.mpc.trace import _FIELD_TYPES
+
+
+def _full_round():
+    """A RoundStats with a distinct non-default value in every field."""
+    return RoundStats(name="r/one", machines=3, max_input_words=11,
+                      max_output_words=12, total_input_words=31,
+                      total_output_words=29, max_work=101, total_work=222,
+                      wall_seconds=0.125, attempts=4, retried_machines=2,
+                      dropped_machines=1, wasted_work=55,
+                      wasted_wall_seconds=0.0625)
+
+
+class TestSchema:
+    def test_every_dataclass_field_is_serialised(self):
+        declared = {f.name for f in dataclasses.fields(RoundStats)}
+        assert declared == set(_FIELD_TYPES), \
+            "serialisation schema out of sync with RoundStats"
+
+    def test_round_trip_preserves_every_field(self):
+        stats = RunStats(rounds=[_full_round()])
+        again = run_stats_from_dict(run_stats_to_dict(stats))
+        assert again.rounds[0] == _full_round()
+
+    def test_round_trip_preserves_non_default_floats_in_all_fields(self):
+        # every numeric field survives with its exact value, no truncation
+        data = run_stats_to_dict(RunStats(rounds=[_full_round()]))
+        restored = run_stats_from_dict(data).rounds[0]
+        for f in _FIELD_TYPES:
+            assert getattr(restored, f) == getattr(_full_round(), f), f
+
+
+class TestCoercion:
+    def _data(self, **overrides):
+        data = run_stats_to_dict(RunStats(rounds=[_full_round()]))
+        data["rounds"][0].update(overrides)
+        return data
+
+    def test_float_in_int_field_raises_instead_of_truncating(self):
+        with pytest.raises(ValueError, match="total_work"):
+            run_stats_from_dict(self._data(total_work=222.7))
+
+    def test_integral_float_in_int_field_accepted(self):
+        # JSON readers may hand back 222.0 for an int; lossless, so fine
+        stats = run_stats_from_dict(self._data(total_work=222.0))
+        assert stats.rounds[0].total_work == 222
+        assert isinstance(stats.rounds[0].total_work, int)
+
+    def test_string_in_numeric_field_raises(self):
+        with pytest.raises(ValueError, match="machines"):
+            run_stats_from_dict(self._data(machines="3"))
+
+    def test_non_string_name_raises(self):
+        with pytest.raises(ValueError, match="name"):
+            run_stats_from_dict(self._data(name=7))
+
+    def test_int_in_float_field_widens(self):
+        stats = run_stats_from_dict(self._data(wall_seconds=2))
+        assert stats.rounds[0].wall_seconds == 2.0
+        assert isinstance(stats.rounds[0].wall_seconds, float)
+
+    def test_legacy_ledger_without_recovery_fields_loads(self):
+        data = run_stats_to_dict(RunStats(rounds=[_full_round()]))
+        for f in ("attempts", "retried_machines", "dropped_machines",
+                  "wasted_work", "wasted_wall_seconds"):
+            del data["rounds"][0][f]
+        stats = run_stats_from_dict(data)
+        r = stats.rounds[0]
+        assert r.attempts == 1
+        assert r.retried_machines == 0
+        assert r.total_work == 222      # explicit fields still load
