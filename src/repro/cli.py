@@ -108,7 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
                       "the recovery ledger")
     ch.add_argument("--algo", choices=("ulam", "edit"), default="ulam",
                     help="which algorithm to exercise (default ulam)")
-    common(ch, default_x=0.25, default_eps=1.0)
+    # x/eps default to the chosen algorithm's own defaults (resolved
+    # after parsing, once --algo is known).
+    common(ch, default_x=None, default_eps=None)
     chaos_opts(ch)
     return parser
 
@@ -199,6 +201,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .analysis import format_recovery
         if args.fault_plan is None:
             args.fault_plan = "crash=0.1,straggle=0.1x4"
+        # Match the plain `ulam` / `edit` subcommands' defaults unless
+        # the user overrode them.
+        if args.x is None:
+            args.x = 0.4 if args.algo == "ulam" else 0.25
+        if args.eps is None:
+            args.eps = 0.5 if args.algo == "ulam" else 1.0
         if args.algo == "ulam":
             s, t = _load_or_generate(args, "perm")
             sim = _resilient_sim(

@@ -212,8 +212,12 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
         flush(gchunk, block_nodes if first else [])
     outs = sim.run_round(f"{round_prefix}/1-representatives",
                          run_rep_distance_machine, payloads)
+    if len(outs) != len(layouts):  # pragma: no cover - simulator contract
+        raise AssertionError("round-1 output/layout count mismatch")
     repdist = RepDistances()
     for out, (rids, bchunk, gchunk) in zip(outs, layouts):
+        if out is None:     # dropped machine (ResilientSimulator "drop")
+            continue
         k = 0
         for rep_idx in rids:
             for node_id in bchunk:
@@ -271,8 +275,12 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
     outs = sim.run_round(f"{round_prefix}/2-sparse-samples",
                          run_block_vs_groups_machine, payloads,
                          allow_empty=True)
+    if len(outs) != len(layouts2):  # pragma: no cover - simulator contract
+        raise AssertionError("round-2 output/layout count mismatch")
     direct_tuples: List[EditTuple] = []
     for out, (lo, hi, gchunk) in zip(outs, layouts2):
+        if out is None:     # dropped machine: candidates pruned
+            continue
         k = 0
         for st, ens in gchunk:
             for en in ens:
@@ -325,8 +333,12 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
     outs = sim.run_round(f"{round_prefix}/3-extension",
                          run_pair_distance_machine, payloads,
                          allow_empty=True)
+    if len(outs) != len(pair_chunks):  # pragma: no cover - simulator contract
+        raise AssertionError("round-3 output/chunk count mismatch")
     ext_tuples: List[EditTuple] = []
     for out, chunk in zip(outs, pair_chunks):
+        if out is None:     # dropped machine: candidates pruned
+            continue
         for (lo, hi, st, en), d in zip(chunk, out.tolist()):
             ext_tuples.append((lo, hi, st, en, int(d)))
 

@@ -137,6 +137,8 @@ def small_distance_upper_bound(S: np.ndarray, T: np.ndarray,
     # Per-block cap across machines (each machine capped locally already).
     by_block: Dict[int, List[EditTuple]] = {}
     for out in outs:
+        if out is None:     # dropped machine (ResilientSimulator "drop")
+            continue
         for tup in out:
             by_block.setdefault(tup[0], []).append(tup)
     tuples: List[EditTuple] = []

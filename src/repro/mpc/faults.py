@@ -206,15 +206,18 @@ class FaultPlan:
                attempt: int = 1) -> FaultDecision:
         """Draw the (deterministic) fate of one machine attempt.
 
-        The draw order is fixed — crash, corrupt, straggle — so adding a
+        The draw order is fixed — crash, corrupt, straggle — and every
+        kind consumes its stream position unconditionally, so adding a
         later fault kind to a plan never changes the outcomes of earlier
-        kinds under the same seed.  A crash preempts corruption.
+        kinds under the same seed and no outcome shifts another kind's
+        draw.  A crash preempts corruption.
         """
         if self.crash == 0.0 and self.straggle == 0.0 and self.corrupt == 0.0:
             return CLEAN
         rng = self._rng(round_name, machine_index, attempt)
         crash = rng.random() < self.crash
-        corrupt = (not crash) and rng.random() < self.corrupt
+        corrupt_roll = rng.random()
+        corrupt = (not crash) and corrupt_roll < self.corrupt
         factor = 1.0
         if rng.random() < self.straggle:
             factor = rng.uniform(1.0, self.straggle_factor)

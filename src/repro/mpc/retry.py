@@ -105,10 +105,14 @@ class ResilientSimulator(MPCSimulator):
     on_exhausted:
         ``"raise"`` (default) raises
         :class:`~repro.mpc.errors.RoundFailedError` naming the round and
-        the still-failing machines; ``"drop"`` drops their contribution
-        from the round's output list and records the loss in the ledger
-        — tolerable for the Ulam/edit combiners, whose candidate sets
-        are only pruned by a missing machine.
+        the still-failing machines; ``"drop"`` replaces their output
+        with ``None`` placeholders (keeping the output list aligned with
+        the payload list, so positional consumers stay correct) and
+        records the loss in the ledger — tolerable for the Ulam/edit
+        combiners, whose candidate sets are only pruned by a missing
+        machine.  A round whose *every* machine is dropped raises
+        :class:`~repro.mpc.errors.RoundFailedError` regardless: with no
+        surviving contribution there is nothing to degrade to.
     realtime:
         Forwarded to the injecting executor: stragglers really sleep.
     """
@@ -144,8 +148,12 @@ class ResilientSimulator(MPCSimulator):
         :meth:`MPCSimulator.run_round`.  With one, failed machines are
         re-executed (same payload, same machine index, fresh attempt
         number) until they succeed or the retry policy is exhausted.
-        Returned outputs keep machine order; dropped machines are
-        omitted from the list.
+        The returned list always has one entry per payload, in machine
+        order; under ``on_exhausted="drop"`` a dropped machine's entry
+        is ``None``, so consumers that pair outputs with payloads
+        positionally stay aligned and must skip ``None``.  If every
+        machine of the round is dropped, :class:`RoundFailedError` is
+        raised even in drop mode.
         """
         if self._chaos is None:
             return super().run_round(name, fn, payloads,
@@ -199,7 +207,10 @@ class ResilientSimulator(MPCSimulator):
                              re_executions + len(failed)
                              > policy.retry_budget)
             if attempt >= policy.max_attempts or out_of_budget:
-                if self.on_exhausted == "raise":
+                if self.on_exhausted == "raise" \
+                        or len(failed) == len(payloads):
+                    # An all-dropped round has no graceful degradation:
+                    # there is no surviving contribution to degrade to.
                     raise RoundFailedError(name, failed, attempt)
                 dropped = failed
                 break
@@ -210,7 +221,8 @@ class ResilientSimulator(MPCSimulator):
 
         outputs: List[Any] = []
         for i, result in enumerate(results):
-            if result is None:      # dropped machine: contribution lost
+            if result is None:      # dropped: placeholder keeps alignment
+                outputs.append(None)
                 continue
             out_words = sizeof(result.output)
             self._check(name, i, "output", out_words)

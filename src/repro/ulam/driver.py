@@ -143,7 +143,10 @@ def mpc_ulam(s, t, x: float = 0.25, eps: float = 0.5,
             seed * (1 << 20) + bi, config))
 
     outs = sim.run_round("ulam/1-candidates", run_block_machine, payloads)
-    tuples: List[CandidateTuple] = [tup for out in outs for tup in out]
+    # A ResilientSimulator in drop mode leaves None at dropped machines'
+    # positions; their candidates are simply pruned.
+    tuples: List[CandidateTuple] = [tup for out in outs
+                                    if out is not None for tup in out]
 
     answer = sim.run_round(
         "ulam/2-combine", run_combine_machine,

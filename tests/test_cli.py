@@ -111,6 +111,27 @@ class TestChaosCommands:
                      "drop"]) == 0
         assert "Theorem 9" in capsys.readouterr().out
 
+    def test_chaos_uses_each_algos_own_defaults(self, capsys):
+        # `chaos --algo ulam` must run with ulam's (x, eps) defaults —
+        # identical parameters (and hence ledger) to the plain `ulam`
+        # command under the same fault flags.
+        argv_tail = ["--n", "256", "--budget", "8",
+                     "--fault-plan", "crash=0.1", "--seed", "3"]
+        assert main(["chaos", "--algo", "ulam"] + argv_tail) == 0
+        chaos_out = capsys.readouterr().out
+        assert main(["ulam"] + argv_tail) == 0
+        plain_out = capsys.readouterr().out
+        pick = lambda s, key: [l for l in s.splitlines()
+                               if l.strip().startswith(key)]
+        for key in ("answer", "max_machines", "max_memory_words",
+                    "total_work"):
+            assert pick(chaos_out, key) == pick(plain_out, key), key
+
+    def test_chaos_x_eps_overrides_still_win(self):
+        args = build_parser().parse_args(
+            ["chaos", "--algo", "edit", "--x", "0.2", "--eps", "2.0"])
+        assert (args.x, args.eps) == (0.2, 2.0)
+
     def test_chaos_runs_are_replayable(self, capsys):
         argv = ["chaos", "--algo", "ulam", "--n", "256", "--budget", "8",
                 "--fault-plan", "crash=0.15", "--seed", "3"]

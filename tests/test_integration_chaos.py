@@ -10,11 +10,14 @@ are byte-identical (up to wall clocks).
 import pytest
 
 from repro import mpc_edit_distance, mpc_ulam
-from repro.mpc import (FaultPlan, ResilientSimulator, RetryPolicy,
-                       RoundFailedError)
+from repro.editdistance import EditConfig
+from repro.editdistance.large import large_distance_upper_bound
+from repro.mpc import (FaultPlan, MPCSimulator, ResilientSimulator,
+                       RetryPolicy, RoundFailedError)
 from repro.params import EditParams, UlamParams
 from repro.strings import levenshtein, ulam_distance
 from repro.workloads.permutations import planted_pair as perm_pair
+from repro.workloads.strings import block_shuffled_pair
 from repro.workloads.strings import planted_pair as str_pair
 
 PLAN_SPEC = "crash=0.1,straggle=0.1x4"
@@ -113,9 +116,7 @@ class TestExhaustionModes:
     def test_drop_still_returns_a_distance(self):
         # Crash only round-1 block machines occasionally; the combiner
         # tolerates a pruned candidate set, so a distance comes back and
-        # the drop is visible in the ledger.  The answer stays a valid
-        # *upper bound proxy* only when no machine was dropped, so here
-        # we only require completion + visibility.
+        # the drop is visible in the ledger.
         s, t, _ = perm_pair(512, 32, seed=3, style="mixed")
         sim = ResilientSimulator(
             memory_limit=UlamParams(n=512, x=0.4, eps=0.5).memory_limit,
@@ -126,3 +127,60 @@ class TestExhaustionModes:
         assert isinstance(res.distance, int)
         assert res.stats.dropped_machines > 0
         assert "dropped_machines" in res.stats.summary()
+
+    def test_drop_of_a_lone_combine_machine_raises(self):
+        # When the single round-2 combine machine itself exhausts its
+        # retries, drop mode cannot degrade (every machine of the round
+        # is gone) and must surface RoundFailedError — never an
+        # IndexError from indexing an empty output list.
+        s, t, _ = perm_pair(256, 8, seed=1, style="mixed")
+        sim = ResilientSimulator(
+            memory_limit=UlamParams(n=256, x=0.4, eps=0.5).memory_limit,
+            fault_plan=FaultPlan(crash=1.0, seed=0),
+            retry_policy=RetryPolicy(max_attempts=2),
+            on_exhausted="drop")
+        with pytest.raises(RoundFailedError):
+            mpc_ulam(s, t, x=0.4, eps=0.5, sim=sim)
+
+
+class TestDropAlignment:
+    """Dropped machines leave ``None`` placeholders, so drivers that
+    pair outputs with payload bookkeeping positionally must stay
+    aligned.  A mis-paired output could silently *lower* the returned
+    bound below the true distance; pruning alone can only raise it, so
+    validity (answer >= exact) under observed drops pins the contract.
+    """
+
+    def test_small_regime_drop_stays_valid_upper_bound(self):
+        s, t, _ = str_pair(256, 16, sigma=4, seed=2)
+        sim = ResilientSimulator(
+            memory_limit=EditParams(n=256, x=0.25, eps=1.0).memory_limit,
+            fault_plan=FaultPlan(crash=0.3, seed=1),
+            retry_policy=RetryPolicy(max_attempts=2),
+            on_exhausted="drop")
+        res = mpc_edit_distance(s, t, x=0.25, eps=1.0, seed=0, sim=sim)
+        assert res.stats.dropped_machines > 0
+        assert res.distance >= levenshtein(s, t)
+
+    def test_large_regime_drop_stays_valid_upper_bound(self):
+        s, t = block_shuffled_pair(192, 8, seed=5)
+        params = EditParams(n=192, x=0.29, eps=1.0, eps_prime_divisor=4)
+        cfg = EditConfig(max_representatives=16,
+                         max_low_degree_samples=8,
+                         max_extensions_per_pair_source=8)
+        exact = levenshtein(s, t)
+        clean_sim = MPCSimulator(memory_limit=params.memory_limit)
+        clean, _ = large_distance_upper_bound(
+            s, t, params, guess=max(exact, 1), sim=clean_sim,
+            config=cfg, seed=2)
+        sim = ResilientSimulator(
+            memory_limit=params.memory_limit,
+            fault_plan=FaultPlan(crash=0.4, seed=16),
+            retry_policy=RetryPolicy(max_attempts=2),
+            on_exhausted="drop")
+        bound, _ = large_distance_upper_bound(
+            s, t, params, guess=max(exact, 1), sim=sim, config=cfg,
+            seed=2)
+        assert sum(r.dropped_machines for r in sim.stats.rounds) > 0
+        assert exact <= bound
+        assert bound >= clean    # drops only prune candidate tuples

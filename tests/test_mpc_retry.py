@@ -92,7 +92,7 @@ class TestRecovery:
         assert exc.value.failed_machines == [0, 1, 2]
         assert exc.value.attempts == 2
 
-    def test_drop_keeps_surviving_outputs_in_order(self):
+    def test_drop_leaves_aligned_placeholders(self):
         plan = FaultPlan(crash=0.5, seed=4)
         sim = ResilientSimulator(fault_plan=plan,
                                  retry_policy=RetryPolicy(max_attempts=1),
@@ -100,22 +100,47 @@ class TestRecovery:
         outs = sim.run_round("r", _work10, list(range(40)))
         r = sim.stats.rounds[0]
         assert r.dropped_machines > 0
-        assert len(outs) == 40 - r.dropped_machines
-        # survivors keep payload order
-        assert outs == sorted(outs)
-        assert set(outs) <= {i * 2 for i in range(40)}
+        # one entry per payload: dropped machines leave None at their own
+        # position, so positional consumers never see shifted outputs.
+        assert len(outs) == 40
+        for i, out in enumerate(outs):
+            assert out is None or out == i * 2
+        assert sum(out is None for out in outs) == r.dropped_machines
+
+    def test_all_machines_dropped_raises_even_in_drop_mode(self):
+        plan = FaultPlan(crash=1.0, seed=1)
+        sim = ResilientSimulator(fault_plan=plan,
+                                 retry_policy=RetryPolicy(max_attempts=2),
+                                 on_exhausted="drop")
+        with pytest.raises(RoundFailedError) as exc:
+            sim.run_round("r", _work10, [1, 2, 3])
+        assert exc.value.failed_machines == [0, 1, 2]
+
+    def test_single_machine_round_dropped_raises(self):
+        # Combine-style rounds index run_round(...)[0]; a dropped lone
+        # machine must surface as RoundFailedError, never as an empty or
+        # all-None output list.
+        plan = FaultPlan(crash=1.0, seed=5)
+        sim = ResilientSimulator(fault_plan=plan,
+                                 retry_policy=RetryPolicy(max_attempts=2),
+                                 on_exhausted="drop")
+        with pytest.raises(RoundFailedError):
+            sim.run_round("combine", _work10, [7])
 
     def test_retry_budget_caps_re_executions(self):
-        plan = FaultPlan(crash=1.0, seed=1)
+        plan = FaultPlan(crash=0.5, seed=4)
         sim = ResilientSimulator(
             fault_plan=plan,
             retry_policy=RetryPolicy(max_attempts=10, retry_budget=2),
             on_exhausted="drop")
-        sim.run_round("r", _work10, list(range(5)))
-        # all five machines always crash; the budget (2) does not even
-        # cover one full retry wave, so the round ends after attempt 1.
-        assert sim.stats.rounds[0].attempts == 1
-        assert sim.stats.rounds[0].dropped_machines == 5
+        outs = sim.run_round("r", _work10, list(range(40)))
+        # with ~20 failures per wave the budget (2) does not even cover
+        # one full retry wave, so the round ends after attempt 1 with the
+        # still-failing (but not all) machines dropped.
+        r = sim.stats.rounds[0]
+        assert r.attempts == 1
+        assert 0 < r.dropped_machines < 40
+        assert sum(out is None for out in outs) == r.dropped_machines
 
     def test_wasted_work_charged_to_enclosing_meter(self):
         plan = FaultPlan(crash=0.5, seed=6)
