@@ -1,0 +1,90 @@
+"""E19 — communication volume per round (shuffle vs broadcast).
+
+The pipeline layer (:mod:`repro.mpc.plan`) meters, per round, the words
+replicated to every machine (``broadcast_words``) and the words the
+collector routes into the next round's state (``shuffle_words``) — the
+quantities the paper's total-communication claims are phrased in.  This
+experiment records both for the Ulam driver and the two edit regimes
+across the memory exponent ``x``, checking the structural claims:
+
+* broadcast stays a small additive term (parameters + offsets, not
+  data): it never exceeds the shuffled volume at the chosen sizes;
+* the round-1 → round-2 shuffle shrinks the input: the candidate tuples
+  a combine round receives fit in a single machine, so shuffle words
+  stay within the per-machine memory budget implied by ``x``.
+"""
+
+from repro.analysis import format_table
+from repro.editdistance import mpc_edit_distance
+from repro.editdistance.config import EditConfig
+from repro.editdistance.large import large_distance_upper_bound
+from repro.mpc import MPCSimulator
+from repro.params import EditParams
+from repro.ulam import mpc_ulam
+from repro.workloads.permutations import planted_pair as perm_pair
+from repro.workloads.strings import block_shuffled_pair, planted_pair
+
+from .conftest import run_once
+
+N = 512
+XS = (0.2, 0.25, 0.29)  # Theorem 9 requires x <= 5/17
+ULAM_X = (0.3, 0.4)
+
+
+def _rows(tag, x, stats):
+    rows = []
+    for r in stats.rounds:
+        rows.append([tag, x, r.name, r.machines, r.total_input_words,
+                     r.broadcast_words, r.shuffle_words, r.shuffle_work])
+    return rows
+
+
+def _run():
+    rows = []
+
+    for x in ULAM_X:
+        s, t, _ = perm_pair(N, N // 16, seed=41, style="mixed")
+        res = mpc_ulam(s, t, x=x, eps=0.5, seed=42)
+        rows.extend(_rows("ulam", x, res.stats))
+
+    for x in XS:
+        s, t, _ = planted_pair(N, N // 32, sigma=4, seed=43)
+        res = mpc_edit_distance(s, t, x=x, eps=1.0, seed=44)
+        rows.extend(_rows(f"edit/{res.regime}", x, res.stats))
+
+    # Large regime, exercised directly (the driver only enters it for
+    # distances >= n^(1-x/5), unwieldy at benchable sizes).
+    s, t = block_shuffled_pair(256, 8, seed=45)
+    params = EditParams(n=256, x=0.29, eps=1.0, eps_prime_divisor=4)
+    cfg = EditConfig(max_representatives=16, max_low_degree_samples=8,
+                     max_extensions_per_pair_source=8)
+    sim = MPCSimulator(memory_limit=params.memory_limit)
+    large_distance_upper_bound(s, t, params, guess=32, sim=sim,
+                               config=cfg, seed=46)
+    rows.extend(_rows("edit/large", 0.29, sim.stats))
+
+    return rows
+
+
+def bench_comm_volume(benchmark, report):
+    rows = run_once(benchmark, _run)
+    lines = [
+        f"Per-round communication volume (n = {N}, words)",
+        "",
+        format_table(
+            ["algorithm", "x", "round", "machines", "words_in",
+             "broadcast", "shuffle_words", "shuffle_work"], rows),
+        "",
+        "broadcast = per-machine replicated parameter words; "
+        "shuffle_words = collector output routed to the next round.",
+    ]
+    report("E19_comm_volume", "\n".join(lines))
+
+    by_algo = {}
+    for tag, x, name, machines, words_in, bcast, shuf, _work in rows:
+        by_algo.setdefault((tag, x), []).append((bcast, shuf, words_in))
+    for (tag, x), rounds in by_algo.items():
+        # Broadcast is a parameter-sized additive term, not a data ship.
+        total_bcast = sum(b for b, _, _ in rounds)
+        total_shuffle = sum(s for _, s, _ in rounds)
+        assert total_bcast < total_shuffle, (tag, x, rounds)

@@ -1,7 +1,8 @@
 """Analysis helpers: power-law exponent fits and report rendering."""
 
-from .report import format_kv, format_recovery, format_table
+from .report import (format_communication, format_kv,
+                     format_recovery, format_table)
 from .scaling import PowerLawFit, fit_power_law
 
-__all__ = ["format_kv", "format_recovery", "format_table", "PowerLawFit",
-           "fit_power_law"]
+__all__ = ["format_communication", "format_kv", "format_recovery",
+           "format_table", "PowerLawFit", "fit_power_law"]

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
-__all__ = ["format_table", "format_kv", "format_recovery"]
+__all__ = ["format_table", "format_kv", "format_recovery",
+           "format_communication"]
 
 
 def format_table(headers: Sequence[str],
@@ -77,3 +78,27 @@ def format_recovery(stats) -> str:
     return format_table(
         ["round", "machines", "attempts", "retried", "dropped",
          "wasted_work", "waste_share"], rows)
+
+
+def format_communication(stats) -> str:
+    """Render the per-round communication ledger of a pipeline run.
+
+    *stats* is a :class:`repro.mpc.accounting.RunStats` produced through
+    :mod:`repro.mpc.plan`.  One row per round: machines, total words in
+    and out of machines, the per-machine broadcast charge, and the
+    shuffle volume/work the round's collector routed into the next
+    round's state.  A trailing ``TOTAL`` row aggregates the run
+    (broadcast totals sum the per-round charges).
+    """
+    rows = []
+    for r in stats.rounds:
+        rows.append([r.name, r.machines, r.total_input_words,
+                     r.total_output_words, r.broadcast_words,
+                     r.shuffle_words, r.shuffle_work])
+    rows.append(["TOTAL", stats.total_machine_invocations,
+                 sum(r.total_input_words for r in stats.rounds),
+                 stats.total_communication_words, stats.broadcast_words,
+                 stats.shuffle_words, stats.shuffle_work])
+    return format_table(
+        ["round", "machines", "words_in", "words_out", "broadcast",
+         "shuffle_words", "shuffle_work"], rows)

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..mpc.accounting import RunStats, add_work
+from ..mpc.plan import Pipeline, RoundSpec
 from ..mpc.simulator import MPCSimulator
 from ..strings.edit_distance import levenshtein_last_row
 from ..strings.types import INF, as_array
@@ -197,7 +198,8 @@ def beghs_edit_distance(s, t, eps: float = 1.0,
         sim = MPCSimulator(memory_limit=memory_limit)
 
     if n == n_t and bool(np.array_equal(S, T)):
-        return BeghsResult(distance=0, n=n, eps=eps, stats=sim.stats,
+        return BeghsResult(distance=0, n=n, eps=eps,
+                           stats=sim.stats.snapshot(),
                            accepted_guess=0, depth=depth)
 
     best: Optional[int] = None
@@ -229,7 +231,8 @@ def beghs_edit_distance(s, t, eps: float = 1.0,
         guess = min(2 * D, n + n_t)
 
     assert best is not None
-    return BeghsResult(distance=int(best), n=n, eps=eps, stats=sim.stats,
+    return BeghsResult(distance=int(best), n=n, eps=eps,
+                       stats=sim.stats.snapshot(),
                        accepted_guess=accepted, depth=depth,
                        per_guess=per_guess)
 
@@ -271,14 +274,22 @@ def _run_one_guess(S: np.ndarray, T: np.ndarray,
         if cur:
             payloads.append(_base_payload(S, T, node, cur))
             layouts.append((node, cur))
-    outs = sim.run_round(f"beghs/base(D={D})", _run_base_machine, payloads)
-    for out, (node, glist) in zip(outs, layouts):
-        table = base_values.setdefault(node, {})
-        k = 0
-        for st, ens in glist:
-            for en in ens:
-                table[(st, en)] = int(out[k])
-                k += 1
+    def collect_base(outs, _state):
+        for out, (node, glist) in zip(outs, layouts):
+            if out is None:     # dropped machine: windows pruned
+                continue
+            table = base_values.setdefault(node, {})
+            k = 0
+            for st, ens in glist:
+                for en in ens:
+                    table[(st, en)] = int(out[k])
+                    k += 1
+        return base_values
+
+    pipe = Pipeline(sim)
+    pipe.round(RoundSpec(f"beghs/base(D={D})", _run_base_machine,
+                         partitioner=lambda _: payloads,
+                         collector=collect_base))
 
     # ---- combine levels --------------------------------------------------
     values = base_values
@@ -324,15 +335,22 @@ def _run_one_guess(S: np.ndarray, T: np.ndarray,
                 payloads.append({"left": left_arr, "right": right_arr,
                                  "jobs": chunk})
                 layouts2.append((node, chunk))
-        outs = sim.run_round(f"beghs/combine-l{li}(D={D})",
-                             _run_combine_machine, payloads,
-                             allow_empty=True)
-        for out, (node, chunk) in zip(outs, layouts2):
-            table = parent_values.setdefault(node, {})
-            for (st, en, _splits), v in zip(chunk, out.tolist()):
-                prev = table.get((st, en))
-                if prev is None or v < prev:
-                    table[(st, en)] = int(v)
-        values = parent_values
+        def collect_level(outs, _state, layouts2=layouts2,
+                          parent_values=parent_values):
+            for out, (node, chunk) in zip(outs, layouts2):
+                if out is None:     # dropped machine: windows pruned
+                    continue
+                table = parent_values.setdefault(node, {})
+                for (st, en, _splits), v in zip(chunk, out.tolist()):
+                    prev = table.get((st, en))
+                    if prev is None or v < prev:
+                        table[(st, en)] = int(v)
+            return parent_values
+
+        values = pipe.round(RoundSpec(f"beghs/combine-l{li}(D={D})",
+                                      _run_combine_machine,
+                                      partitioner=lambda _: payloads,
+                                      collector=collect_level,
+                                      allow_empty=True))
 
     return values.get(levels[-1][0], {})

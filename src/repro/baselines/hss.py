@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..mpc.accounting import RunStats
+from ..mpc.plan import Pipeline, RoundSpec
 from ..mpc.simulator import MPCSimulator
 from ..params import EditParams
 from ..strings.types import as_array
@@ -86,8 +87,8 @@ def hss_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
             phase2_top_k = budget_top_k
 
     if n == n_t and bool(np.array_equal(S, T)):
-        return HSSResult(distance=0, n=n, params=params, stats=sim.stats,
-                         accepted_guess=0)
+        return HSSResult(distance=0, n=n, params=params,
+                         stats=sim.stats.snapshot(), accepted_guess=0)
 
     B = params.block_size_small
     accept = 1.0 + eps
@@ -99,6 +100,14 @@ def hss_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
         sub = sim.spawn()
         gap = params.gap(guess, B)
         offsets = length_offsets(B, guess, params.eps_prime)
+        shared = {
+            "offsets": offsets,
+            "eps_prime": params.eps_prime,
+            "n_t": n_t,
+            "inner": "row",
+            "eps_inner": 0.5,
+            "top_k": phase2_top_k,
+        }
         payloads = []
         for lo in range(0, n, B):
             hi = min(lo + B, n)
@@ -109,27 +118,36 @@ def hss_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
                 payloads.append({
                     "lo": lo, "hi": hi, "block": S[lo:hi],
                     "text": T[sp:text_end], "text_off": sp,
-                    "starts": [sp], "offsets": offsets,
-                    "eps_prime": params.eps_prime, "n_t": n_t,
-                    "inner": "row", "eps_inner": 0.5,
-                    "top_k": phase2_top_k,
+                    "starts": [sp],
                 })
-        outs = sub.run_round("hss/1-pairs", run_small_block_machine,
-                             payloads)
-        by_block: Dict[int, List] = {}
-        for out in outs:
-            for tup in out:
-                by_block.setdefault(tup[0], []).append(tup)
-        tuples = []
-        for lo, tl in sorted(by_block.items()):
-            if phase2_top_k is not None and len(tl) > phase2_top_k:
-                tl.sort(key=lambda u: (u[4], u[3] - u[2]))
-                tl = tl[:phase2_top_k]
-            tuples.extend(tl)
-        bound = sub.run_round(
+
+        def collect_tuples(outs: List[object], _state: object) -> List:
+            by_block: Dict[int, List] = {}
+            for out in outs:
+                if out is None:     # dropped machine: candidates pruned
+                    continue
+                for tup in out:     # type: ignore[attr-defined]
+                    by_block.setdefault(tup[0], []).append(tup)
+            tuples: List = []
+            for lo, tl in sorted(by_block.items()):
+                if phase2_top_k is not None and len(tl) > phase2_top_k:
+                    tl.sort(key=lambda u: (u[4], u[3] - u[2]))
+                    tl = tl[:phase2_top_k]
+                tuples.extend(tl)
+            return tuples
+
+        pipe = Pipeline(sub)
+        tuples = pipe.round(RoundSpec(
+            "hss/1-pairs", run_small_block_machine,
+            partitioner=lambda _: payloads,
+            broadcast=shared,
+            collector=collect_tuples))
+        bound = pipe.round(RoundSpec(
             "hss/2-combine", run_edit_combine_machine,
-            [{"tuples": tuples, "n_s": n, "n_t": n_t,
-              "allow_overlap": False}])[0]
+            partitioner=lambda tups: [{"tuples": tups, "n_s": n,
+                                       "n_t": n_t,
+                                       "allow_overlap": False}],
+            collector=lambda outs, _: outs[0]), tuples)
         bound = int(min(bound, n + n_t))
         sim.absorb(sub)
         per_guess.append({"guess": guess, "bound": bound,
@@ -145,5 +163,5 @@ def hss_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
 
     assert best is not None
     return HSSResult(distance=int(best), n=n, params=params,
-                     stats=sim.stats, accepted_guess=accepted,
+                     stats=sim.stats.snapshot(), accepted_guess=accepted,
                      per_guess=per_guess)

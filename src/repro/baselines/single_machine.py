@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..mpc.accounting import RunStats
+from ..mpc.plan import Pipeline, RoundSpec
 from ..mpc.simulator import MPCSimulator
 from ..strings.banded import levenshtein_doubling
 from ..strings.edit_distance import levenshtein
@@ -60,8 +61,12 @@ def single_machine_edit_distance(s, t,
     """Exact edit distance as a 1-machine, 1-round MPC execution."""
     S, T = as_array(s), as_array(t)
     sim = sim or MPCSimulator(memory_limit=None)
-    d = sim.run_round("single/solve", _run_ed, [{"s": S, "t": T}])[0]
-    return SingleMachineResult(distance=int(d), n=len(S), stats=sim.stats)
+    d = Pipeline(sim).round(RoundSpec(
+        "single/solve", _run_ed,
+        partitioner=lambda _: [{"s": S, "t": T}],
+        collector=lambda outs, _: outs[0]))
+    return SingleMachineResult(distance=int(d), n=len(S),
+                               stats=sim.stats.snapshot())
 
 
 def single_machine_ulam(s, t,
@@ -70,5 +75,9 @@ def single_machine_ulam(s, t,
     """Exact Ulam distance as a 1-machine, 1-round MPC execution."""
     S, T = as_array(s), as_array(t)
     sim = sim or MPCSimulator(memory_limit=None)
-    d = sim.run_round("single/solve", _run_ulam, [{"s": S, "t": T}])[0]
-    return SingleMachineResult(distance=int(d), n=len(S), stats=sim.stats)
+    d = Pipeline(sim).round(RoundSpec(
+        "single/solve", _run_ulam,
+        partitioner=lambda _: [{"s": S, "t": T}],
+        collector=lambda outs, _: outs[0]))
+    return SingleMachineResult(distance=int(d), n=len(S),
+                               stats=sim.stats.snapshot())

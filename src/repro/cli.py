@@ -68,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="read t from this text file")
         p.add_argument("--exact", action="store_true",
                        help="also compute the exact distance (O(n^2))")
+        p.add_argument("--comm", action="store_true",
+                       help="also print the per-round communication "
+                            "ledger (shuffle/broadcast words)")
 
     def chaos_opts(p: argparse.ArgumentParser) -> None:
         p.add_argument("--fault-plan", type=str, default=None,
@@ -146,7 +149,8 @@ def _load_or_generate(args, kind: str):
 
 
 def _print_result(title: str, answer: int, exact: Optional[int],
-                  stats, extra: Optional[dict] = None) -> None:
+                  stats, extra: Optional[dict] = None,
+                  show_comm: bool = False) -> None:
     data = {"answer": answer}
     if exact is not None:
         data["exact"] = exact
@@ -155,6 +159,12 @@ def _print_result(title: str, answer: int, exact: Optional[int],
     data.update(extra or {})
     data.update(stats.summary())
     print(format_kv(title, data))
+    if show_comm:
+        from .analysis import format_communication
+        print()
+        print("Communication ledger")
+        print("--------------------")
+        print(format_communication(stats))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -179,7 +189,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                        sim=sim)
         exact = ulam_distance(s, t) if args.exact else None
         _print_result("MPC Ulam distance (Theorem 4)", res.distance,
-                      exact, res.stats, {"guarantee": f"1+{args.eps}"})
+                      exact, res.stats, {"guarantee": f"1+{args.eps}"},
+                      show_comm=args.comm)
         return 0
 
     if args.command == "edit":
@@ -194,7 +205,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                       exact, res.stats,
                       {"guarantee": f"3+{args.eps}",
                        "regime": res.regime,
-                       "accepted_guess": res.accepted_guess})
+                       "accepted_guess": res.accepted_guess},
+                      show_comm=args.comm)
         return 0
 
     if args.command == "chaos":
@@ -241,7 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .strings import lcs_length
         exact = lcs_length(s, t) if args.exact else None
         _print_result("MPC LCS (extension)", res.lcs, exact, res.stats,
-                      {"guarantee": f"additive {args.eps}*n"})
+                      {"guarantee": f"additive {args.eps}*n"},
+                      show_comm=args.comm)
         return 0
 
     if args.command == "lis":
@@ -254,7 +267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         exact = lis_length(seq) if args.exact else None
         _print_result("MPC LIS (extension)", res.lis, exact, res.stats,
                       {"guarantee": f"additive 2*{args.eps}*n",
-                       "buckets": res.n_buckets})
+                       "buckets": res.n_buckets},
+                      show_comm=args.comm)
         return 0
 
     if args.command == "beghs":
@@ -264,7 +278,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_result("BEGHS'18 baseline edit distance", res.distance,
                       exact, res.stats,
                       {"guarantee": f"1+O({args.eps})",
-                       "tree_depth": res.depth})
+                       "tree_depth": res.depth},
+                      show_comm=args.comm)
         return 0
 
     if args.command == "hss":
@@ -272,7 +287,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         res = hss_edit_distance(s, t, x=args.x, eps=args.eps)
         exact = levenshtein(s, t) if args.exact else None
         _print_result("HSS'19 baseline edit distance", res.distance,
-                      exact, res.stats, {"guarantee": f"1+{args.eps}"})
+                      exact, res.stats, {"guarantee": f"1+{args.eps}"},
+                      show_comm=args.comm)
         return 0
 
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

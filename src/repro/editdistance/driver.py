@@ -133,7 +133,8 @@ def mpc_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
         equal = len(S) == len(T) and bool(np.array_equal(S, T))
     if equal:
         sim.stats.rounds = prefix_rounds + sim.stats.rounds
-        return EditResult(distance=0, n=n, params=params, stats=sim.stats,
+        return EditResult(distance=0, n=n, params=params,
+                          stats=sim.stats.snapshot(),
                           accepted_guess=0, regime="equal")
 
     accept = config.accept_slack if config.accept_slack is not None \
@@ -176,5 +177,6 @@ def mpc_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
     assert best is not None  # guess schedule always reaches 2n
     sim.stats.rounds = prefix_rounds + sim.stats.rounds
     return EditResult(distance=int(best), n=n, params=params,
-                      stats=sim.stats, accepted_guess=accepted_guess,
+                      stats=sim.stats.snapshot(),
+                      accepted_guess=accepted_guess,
                       regime=regime_used, per_guess=per_guess)

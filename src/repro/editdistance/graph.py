@@ -76,6 +76,12 @@ class RepDistances:
     def add(self, node: NodeId, rep_index: int, distance: int) -> None:
         self.per_node.setdefault(node, []).append((rep_index, distance))
 
+    def __mpc_size__(self) -> int:
+        """Word size of the distance table (for shuffle accounting when
+        the table is the state routed out of phase 1)."""
+        from ..mpc.sizeof import sizeof
+        return sizeof(self.per_node)
+
     def nearest_rep_distance(self, node: NodeId) -> Optional[int]:
         """Distance to the closest representative (``None`` if unseen).
 

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..mpc.plan import Pipeline, RoundSpec
 from ..mpc.simulator import MPCSimulator
 from ..params import EditParams
 from ..strings.approx import make_inner
@@ -190,9 +191,7 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
             payloads.append({
                 "reps": rchunk,
                 "blocks": [(b, node_string(b, S, T)) for b in bchunk],
-                "cs_groups": group_payload_entries(gchunk),
-                "solver": config.rep_solver,
-                "eps_inner": config.eps_inner})
+                "cs_groups": group_payload_entries(gchunk)})
             layouts.append((rids, list(bchunk), list(gchunk)))
 
         gchunk: List[CsGroup] = []
@@ -210,25 +209,36 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
             in_words += g_in
             out_words += g_out
         flush(gchunk, block_nodes if first else [])
-    outs = sim.run_round(f"{round_prefix}/1-representatives",
-                         run_rep_distance_machine, payloads)
-    if len(outs) != len(layouts):  # pragma: no cover - simulator contract
-        raise AssertionError("round-1 output/layout count mismatch")
-    repdist = RepDistances()
-    for out, (rids, bchunk, gchunk) in zip(outs, layouts):
-        if out is None:     # dropped machine (ResilientSimulator "drop")
-            continue
-        k = 0
-        for rep_idx in rids:
-            for node_id in bchunk:
-                repdist.add(node_id, rep_idx, int(out[k]))
-                k += 1
-            for st, ens in gchunk:
-                for en in ens:
-                    repdist.add(("c", st, en), rep_idx, int(out[k]))
+
+    pipe = Pipeline(sim)
+    solver_blob = {"solver": config.rep_solver,
+                   "eps_inner": config.eps_inner}
+
+    def collect_repdist(outs: List[object], _state: object) -> RepDistances:
+        if len(outs) != len(layouts):  # pragma: no cover - sim contract
+            raise AssertionError("round-1 output/layout count mismatch")
+        repdist = RepDistances()
+        for out, (rids, bchunk, gchunk) in zip(outs, layouts):
+            if out is None:  # dropped machine (ResilientSimulator "drop")
+                continue
+            k = 0
+            for rep_idx in rids:
+                for node_id in bchunk:
+                    repdist.add(node_id, rep_idx, int(out[k]))
                     k += 1
-        if k != len(out):  # pragma: no cover - layout invariant
-            raise AssertionError("round-1 output layout mismatch")
+                for st, ens in gchunk:
+                    for en in ens:
+                        repdist.add(("c", st, en), rep_idx, int(out[k]))
+                        k += 1
+            if k != len(out):  # pragma: no cover - layout invariant
+                raise AssertionError("round-1 output layout mismatch")
+        return repdist
+
+    repdist = pipe.round(RoundSpec(
+        f"{round_prefix}/1-representatives", run_rep_distance_machine,
+        partitioner=lambda _: payloads,
+        broadcast=solver_blob,
+        collector=collect_repdist))
 
     edge_tuples: List[EditTuple] = [
         (b[1], b[2], u[1], u[2], w)
@@ -272,20 +282,25 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
             payloads.append({"lo": lo, "hi": hi, "block": S[lo:hi],
                              "cs_groups": group_payload_entries(gchunk)})
             layouts2.append((lo, hi, gchunk))
-    outs = sim.run_round(f"{round_prefix}/2-sparse-samples",
-                         run_block_vs_groups_machine, payloads,
-                         allow_empty=True)
-    if len(outs) != len(layouts2):  # pragma: no cover - simulator contract
-        raise AssertionError("round-2 output/layout count mismatch")
-    direct_tuples: List[EditTuple] = []
-    for out, (lo, hi, gchunk) in zip(outs, layouts2):
-        if out is None:     # dropped machine: candidates pruned
-            continue
-        k = 0
-        for st, ens in gchunk:
-            for en in ens:
-                direct_tuples.append((lo, hi, st, en, int(out[k])))
-                k += 1
+    def collect_direct(outs: List[object], _state: object) -> List[EditTuple]:
+        if len(outs) != len(layouts2):  # pragma: no cover - sim contract
+            raise AssertionError("round-2 output/layout count mismatch")
+        tuples: List[EditTuple] = []
+        for out, (lo, hi, gchunk) in zip(outs, layouts2):
+            if out is None:     # dropped machine: candidates pruned
+                continue
+            k = 0
+            for st, ens in gchunk:
+                for en in ens:
+                    tuples.append((lo, hi, st, en, int(out[k])))
+                    k += 1
+        return tuples
+
+    direct_tuples = pipe.round(RoundSpec(
+        f"{round_prefix}/2-sparse-samples", run_block_vs_groups_machine,
+        partitioner=lambda _: payloads,
+        collector=collect_direct,
+        allow_empty=True))
 
     # ---- round 3: extension of sparse pairs ----------------------------
     larger_B = params.larger_block_size
@@ -327,28 +342,34 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
         pair_chunks.append(chunk)
         payloads.append({
             "items": [(lo, hi, S[lo:hi], st, en, T[st:en])
-                      for (lo, hi, st, en) in chunk],
-            "solver": config.rep_solver,
-            "eps_inner": config.eps_inner})
-    outs = sim.run_round(f"{round_prefix}/3-extension",
-                         run_pair_distance_machine, payloads,
-                         allow_empty=True)
-    if len(outs) != len(pair_chunks):  # pragma: no cover - simulator contract
-        raise AssertionError("round-3 output/chunk count mismatch")
-    ext_tuples: List[EditTuple] = []
-    for out, chunk in zip(outs, pair_chunks):
-        if out is None:     # dropped machine: candidates pruned
-            continue
-        for (lo, hi, st, en), d in zip(chunk, out.tolist()):
-            ext_tuples.append((lo, hi, st, en, int(d)))
+                      for (lo, hi, st, en) in chunk]})
+
+    def collect_ext(outs: List[object], _state: object) -> List[EditTuple]:
+        if len(outs) != len(pair_chunks):  # pragma: no cover - sim contract
+            raise AssertionError("round-3 output/chunk count mismatch")
+        tuples: List[EditTuple] = []
+        for out, chunk in zip(outs, pair_chunks):
+            if out is None:     # dropped machine: candidates pruned
+                continue
+            for (lo, hi, st, en), d in zip(chunk, out.tolist()):
+                tuples.append((lo, hi, st, en, int(d)))
+        return tuples
+
+    ext_tuples = pipe.round(RoundSpec(
+        f"{round_prefix}/3-extension", run_pair_distance_machine,
+        partitioner=lambda _: payloads,
+        broadcast=solver_blob,
+        collector=collect_ext,
+        allow_empty=True))
 
     # ---- round 4: combining DP ------------------------------------------
     all_tuples = _cap_per_block(edge_tuples + direct_tuples + ext_tuples,
                                 config.phase2_top_k)
-    bound = sim.run_round(
+    bound = pipe.round(RoundSpec(
         f"{round_prefix}/4-combine", run_edit_combine_machine,
-        [{"tuples": all_tuples, "n_s": n, "n_t": n_t,
-          "allow_overlap": True}])[0]
+        partitioner=lambda tups: [{"tuples": tups, "n_s": n, "n_t": n_t,
+                                   "allow_overlap": True}],
+        collector=lambda outs, _: outs[0]), all_tuples)
     diag = {
         "n_nodes": len(all_nodes),
         "n_reps": len(rep_ids),

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..mpc.plan import Pipeline, RoundSpec
 from ..mpc.simulator import MPCSimulator
 from ..params import EditParams
 from ..strings.approx import make_inner
@@ -110,6 +111,16 @@ def small_distance_upper_bound(S: np.ndarray, T: np.ndarray,
     budget = max(params.memory_limit - 2 * B - 64, max_len + gap)
     starts_per_machine = max(1, (budget - max_len) // gap)
 
+    # Schedule constants every machine shares go over the broadcast
+    # channel; only the block/slice data is per-machine.
+    shared = {
+        "offsets": offsets,
+        "eps_prime": params.eps_prime,
+        "n_t": n_t,
+        "inner": config.inner,
+        "eps_inner": config.eps_inner,
+        "top_k": config.phase2_top_k,
+    }
     payloads = []
     for lo in range(0, n, B):
         hi = min(lo + B, n)
@@ -124,32 +135,36 @@ def small_distance_upper_bound(S: np.ndarray, T: np.ndarray,
                 "text": T[text_off:text_end],
                 "text_off": text_off,
                 "starts": chunk,
-                "offsets": offsets,
-                "eps_prime": params.eps_prime,
-                "n_t": n_t,
-                "inner": config.inner,
-                "eps_inner": config.eps_inner,
-                "top_k": config.phase2_top_k,
             })
 
-    outs = sim.run_round(f"{round_prefix}/1-block-candidates",
-                         run_small_block_machine, payloads)
-    # Per-block cap across machines (each machine capped locally already).
-    by_block: Dict[int, List[EditTuple]] = {}
-    for out in outs:
-        if out is None:     # dropped machine (ResilientSimulator "drop")
-            continue
-        for tup in out:
-            by_block.setdefault(tup[0], []).append(tup)
-    tuples: List[EditTuple] = []
-    for lo, tl in sorted(by_block.items()):
-        if config.phase2_top_k is not None and len(tl) > config.phase2_top_k:
-            tl.sort(key=lambda t: (t[4], t[3] - t[2]))
-            tl = tl[:config.phase2_top_k]
-        tuples.extend(tl)
+    def collect_tuples(outs: List[object], _state: object) -> List[EditTuple]:
+        # Per-block cap across machines (each machine capped locally
+        # already); dropped machines (ResilientSimulator "drop") are None.
+        by_block: Dict[int, List[EditTuple]] = {}
+        for out in outs:
+            if out is None:
+                continue
+            for tup in out:     # type: ignore[attr-defined]
+                by_block.setdefault(tup[0], []).append(tup)
+        tuples: List[EditTuple] = []
+        for lo, tl in sorted(by_block.items()):
+            if config.phase2_top_k is not None \
+                    and len(tl) > config.phase2_top_k:
+                tl.sort(key=lambda t: (t[4], t[3] - t[2]))
+                tl = tl[:config.phase2_top_k]
+            tuples.extend(tl)
+        return tuples
 
-    bound = sim.run_round(
+    pipe = Pipeline(sim)
+    tuples = pipe.round(RoundSpec(
+        f"{round_prefix}/1-block-candidates", run_small_block_machine,
+        partitioner=lambda _: payloads,
+        broadcast=shared,
+        collector=collect_tuples))
+
+    bound = pipe.round(RoundSpec(
         f"{round_prefix}/2-combine", run_edit_combine_machine,
-        [{"tuples": tuples, "n_s": n, "n_t": n_t,
-          "allow_overlap": False}])[0]
+        partitioner=lambda tups: [{"tuples": tups, "n_s": n, "n_t": n_t,
+                                   "allow_overlap": False}],
+        collector=lambda outs, _: outs[0]), tuples)
     return int(min(bound, n + n_t)), len(tuples)

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..mpc.accounting import RunStats, add_work
+from ..mpc.plan import Pipeline, RoundSpec
 from ..mpc.simulator import MPCSimulator
 from ..strings.types import StringLike, as_array
 
@@ -197,23 +198,33 @@ def mpc_lcs(s: StringLike, t: StringLike, x: float = 0.25,
             payloads.append({
                 "lo": lo, "hi": hi, "block": S[lo:hi],
                 "text": T[text_off:text_end], "text_off": text_off,
-                "starts": chunk, "lengths": lengths, "n_t": n_t,
-                "top_k": top_k,
+                "starts": chunk,
             })
-    outs = sim.run_round("lcs/1-block-windows", run_lcs_block_machine,
-                         payloads)
-    by_block: Dict[int, List[LcsTuple]] = {}
-    for out in outs:
-        for tup in out:
-            by_block.setdefault(tup[0], []).append(tup)
-    tuples: List[LcsTuple] = []
-    for lo, tl in sorted(by_block.items()):
-        if top_k is not None and len(tl) > top_k:
-            tl.sort(key=lambda u: (-u[4], u[3] - u[2]))
-            tl = tl[:top_k]
-        tuples.extend(tl)
 
-    value = sim.run_round("lcs/2-combine", _run_combine,
-                          [{"tuples": tuples, "n_s": n, "n_t": n_t}])[0]
-    return LcsResult(lcs=int(value), n=n, x=x, eps=eps, stats=sim.stats,
-                     n_tuples=len(tuples))
+    def collect_tuples(outs: List[object], _state: object) -> List[LcsTuple]:
+        by_block: Dict[int, List[LcsTuple]] = {}
+        for out in outs:
+            if out is None:     # dropped machine: candidates pruned
+                continue
+            for tup in out:     # type: ignore[attr-defined]
+                by_block.setdefault(tup[0], []).append(tup)
+        tuples: List[LcsTuple] = []
+        for lo, tl in sorted(by_block.items()):
+            if top_k is not None and len(tl) > top_k:
+                tl.sort(key=lambda u: (-u[4], u[3] - u[2]))
+                tl = tl[:top_k]
+            tuples.extend(tl)
+        return tuples
+
+    pipe = Pipeline(sim)
+    tuples = pipe.round(RoundSpec(
+        "lcs/1-block-windows", run_lcs_block_machine,
+        partitioner=lambda _: payloads,
+        broadcast={"lengths": lengths, "n_t": n_t, "top_k": top_k},
+        collector=collect_tuples))
+    value = pipe.round(RoundSpec(
+        "lcs/2-combine", _run_combine,
+        partitioner=lambda tups: [{"tuples": tups, "n_s": n, "n_t": n_t}],
+        collector=lambda outs, _: outs[0]), tuples)
+    return LcsResult(lcs=int(value), n=n, x=x, eps=eps,
+                     stats=sim.stats.snapshot(), n_tuples=len(tuples))

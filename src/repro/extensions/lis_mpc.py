@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..mpc.accounting import RunStats, add_work
+from ..mpc.plan import Pipeline, RoundSpec
 from ..mpc.simulator import MPCSimulator
 from ..strings.types import StringLike, as_array
 
@@ -157,11 +158,16 @@ def mpc_lis(seq: StringLike, x: float = 0.25, eps: float = 0.25,
     if sim is None:
         sim = MPCSimulator(memory_limit=memory_limit)
 
-    payloads = [{"block": S[lo:min(lo + B, n)], "bounds": bounds}
-                for lo in range(0, n, B)]
-    tables = sim.run_round("lis/1-block-tables", run_lis_block_machine,
-                           payloads)
-    value = sim.run_round("lis/2-combine", _run_combine,
-                          [{"tables": tables, "K": K}])[0]
+    payloads = [{"block": S[lo:min(lo + B, n)]} for lo in range(0, n, B)]
+    pipe = Pipeline(sim)
+    tables = pipe.round(RoundSpec(
+        "lis/1-block-tables", run_lis_block_machine,
+        partitioner=lambda _: payloads,
+        broadcast={"bounds": bounds},
+        collector=lambda outs, _: [t for t in outs if t is not None]))
+    value = pipe.round(RoundSpec(
+        "lis/2-combine", _run_combine,
+        partitioner=lambda ts: [{"tables": ts, "K": K}],
+        collector=lambda outs, _: outs[0]), tables)
     return LisResult(lis=int(value), n=n, x=x, eps=eps, n_buckets=K,
-                     stats=sim.stats)
+                     stats=sim.stats.snapshot())

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..mpc.accounting import RunStats
+from ..mpc.plan import Pipeline, RoundSpec
 from ..mpc.simulator import MPCSimulator
 from ..strings.edit_distance import levenshtein_last_row
 from ..strings.fitting import fitting_last_row
@@ -130,10 +131,14 @@ def mpc_approximate_search(pattern: StringLike, text: StringLike, k: int,
         slo = max(lo - margin, 0)
         shi = min(hi + margin, n)
         payloads.append({
-            "pattern": P, "shard": T[slo:shi], "offset": slo,
-            "k": k, "lo_valid": lo, "hi_valid": hi, "n_t": n,
+            "shard": T[slo:shi], "offset": slo,
+            "lo_valid": lo, "hi_valid": hi,
         })
-    outs = sim.run_round("search/shards", _run_shard, payloads)
-    matches = sorted({m for out in outs for m in out},
-                     key=lambda m: (m.end, m.start))
-    return SearchResult(matches=matches, stats=sim.stats)
+    matches = Pipeline(sim).round(RoundSpec(
+        "search/shards", _run_shard,
+        partitioner=lambda _: payloads,
+        broadcast={"pattern": P, "k": k, "n_t": n},
+        collector=lambda outs, _: sorted(
+            {m for out in outs if out is not None for m in out},
+            key=lambda m: (m.end, m.start))))
+    return SearchResult(matches=matches, stats=sim.stats.snapshot())

@@ -11,6 +11,13 @@ The fault layer (:mod:`repro.mpc.faults`, :mod:`repro.mpc.chaos_executor`,
 seeded, replayable failure model — machine crashes, stragglers, payload
 corruption — with bounded-retry recovery and per-round recovery
 accounting.  See docs/ARCHITECTURE.md, "Failure model & recovery".
+
+The plan layer (:mod:`repro.mpc.plan`) is the declarative API drivers
+use: a :class:`~repro.mpc.plan.RoundSpec` bundles a round's machine
+function with its partitioner, optional broadcast blob, and collector,
+and a :class:`~repro.mpc.plan.Pipeline` runs spec sequences on either
+simulator while charging shuffle/broadcast volume to the ledger.  See
+docs/ARCHITECTURE.md, "Round plans & shuffle accounting".
 """
 
 from .accounting import (RoundStats, RunStats, WorkMeter, add_work,
@@ -21,10 +28,11 @@ from .errors import (MachineCrashed, MemoryLimitExceeded, MPCError,
 from .executor import Executor, ProcessPoolExecutor, SerialExecutor
 from .faults import (CorruptedOutput, FailedOutput, FaultDecision,
                      FaultPlan, is_failed)
-from .machine import MachineResult, MachineTask, execute_task
+from .machine import Broadcast, MachineResult, MachineTask, execute_task
 from .partition import block_of, blocks, chunk, pack_by_weight
+from .plan import Pipeline, RoundSpec, run_plan
 from .retry import ResilientSimulator, RetryPolicy
-from .simulator import MPCSimulator
+from .simulator import MPCSimulator, prepare_broadcast
 from .sizeof import sizeof
 from .trace import (load_run_stats, run_stats_from_dict,
                     run_stats_to_dict, save_run_stats)
@@ -39,9 +47,10 @@ __all__ = [
     "CorruptedOutput", "FailedOutput", "FaultDecision", "FaultPlan",
     "is_failed",
     "ResilientSimulator", "RetryPolicy",
-    "MachineResult", "MachineTask", "execute_task",
+    "Broadcast", "MachineResult", "MachineTask", "execute_task",
     "block_of", "blocks", "chunk", "pack_by_weight",
-    "MPCSimulator", "sizeof",
+    "Pipeline", "RoundSpec", "run_plan",
+    "MPCSimulator", "prepare_broadcast", "sizeof",
     "load_run_stats", "run_stats_from_dict", "run_stats_to_dict",
     "save_run_stats", "isolated_meters", "distributed_equal",
 ]

@@ -23,6 +23,7 @@ simulator meter a whole round while a machine meters itself.
 
 from __future__ import annotations
 
+import copy
 import threading
 from dataclasses import dataclass, field
 from typing import List
@@ -106,6 +107,16 @@ class RoundStats:
     max_work: int = 0
     total_work: int = 0
     wall_seconds: float = 0.0
+    # Communication accounting (nonzero only for rounds driven through
+    # repro.mpc.plan).  ``broadcast_words`` is the per-machine word charge
+    # of the round's shared broadcast blob (already included in the
+    # input-word fields above, so memory maxima stay comparable across
+    # broadcast and replicate-into-payload encodings); ``shuffle_words``
+    # is the volume the collector routed into the next round's state and
+    # ``shuffle_work`` the abstract work it metered doing so.
+    broadcast_words: int = 0
+    shuffle_words: int = 0
+    shuffle_work: int = 0
     # Recovery accounting (nonzero only under a fault plan; see
     # repro.mpc.retry.ResilientSimulator).  ``attempts`` is the number of
     # execution waves the round needed (1 = no failures); ``wasted_work``
@@ -175,6 +186,31 @@ class RunStats:
         """Total words shipped out of machines between rounds."""
         return sum(r.total_output_words for r in self.rounds)
 
+    # -- communication aggregates (nonzero only for pipeline runs) ------
+    @property
+    def shuffle_words(self) -> int:
+        """Total words routed between rounds by collectors (the model's
+        communication volume: what the shuffle phase must move)."""
+        return sum(r.shuffle_words for r in self.rounds)
+
+    @property
+    def shuffle_work(self) -> int:
+        """Total abstract work metered inside collectors (routing cost,
+        kept out of ``total_work`` so machine-compute ledgers stay
+        comparable with pre-pipeline runs)."""
+        return sum(r.shuffle_work for r in self.rounds)
+
+    @property
+    def broadcast_words(self) -> int:
+        """Sum over rounds of the per-machine broadcast charge."""
+        return sum(r.broadcast_words for r in self.rounds)
+
+    @property
+    def communication_active(self) -> bool:
+        """True when any round recorded shuffle or broadcast traffic."""
+        return any(r.shuffle_words or r.shuffle_work or r.broadcast_words
+                   for r in self.rounds)
+
     @property
     def wall_seconds(self) -> float:
         """Wall-clock time spent executing rounds."""
@@ -202,6 +238,16 @@ class RunStats:
         """Abstract work spent on attempts whose output was discarded."""
         return sum(r.wasted_work for r in self.rounds)
 
+    def snapshot(self) -> "RunStats":
+        """Deep copy of the ledger, detached from the simulator.
+
+        Result objects must hold a snapshot, not ``sim.stats`` itself:
+        the live object keeps growing if the caller reuses the simulator
+        (or the driver keeps absorbing sub-runs), silently mutating
+        ledgers already returned to the caller.
+        """
+        return RunStats(rounds=[copy.deepcopy(r) for r in self.rounds])
+
     def merge(self, other: "RunStats") -> "RunStats":
         """Concatenate two runs (used when sub-algorithms run in parallel).
 
@@ -223,6 +269,9 @@ class RunStats:
             combined.max_work = r.max_work
             combined.total_work = r.total_work
             combined.wall_seconds = r.wall_seconds
+            combined.broadcast_words = r.broadcast_words
+            combined.shuffle_words = r.shuffle_words
+            combined.shuffle_work = r.shuffle_work
             combined.attempts = r.attempts
             combined.retried_machines = r.retried_machines
             combined.dropped_machines = r.dropped_machines
@@ -241,6 +290,12 @@ class RunStats:
                 combined.total_work += o.total_work
                 combined.wall_seconds = max(combined.wall_seconds,
                                             o.wall_seconds)
+                # Broadcast is a per-machine memory charge (max, like the
+                # other memory fields); shuffle traffic is a volume (sum).
+                combined.broadcast_words = max(combined.broadcast_words,
+                                               o.broadcast_words)
+                combined.shuffle_words += o.shuffle_words
+                combined.shuffle_work += o.shuffle_work
                 # Concurrent siblings: retry waves overlap (max), while
                 # per-machine recovery counts and wasted work add up.
                 combined.attempts = max(combined.attempts, o.attempts)
@@ -262,9 +317,10 @@ class RunStats:
     def summary(self) -> dict:
         """Return the headline numbers as a plain dict (for reports).
 
-        The recovery block is included only when recovery actually
-        happened, so fault-free ledgers stay byte-identical to the
-        pre-chaos format.
+        The communication block (shuffle/broadcast) is included only for
+        runs driven through :mod:`repro.mpc.plan`, and the recovery block
+        only when recovery actually happened, so legacy ledgers stay
+        byte-identical to the pre-pipeline / pre-chaos formats.
         """
         out = {
             "rounds": self.n_rounds,
@@ -275,6 +331,11 @@ class RunStats:
             "total_communication_words": self.total_communication_words,
             "wall_seconds": round(self.wall_seconds, 6),
         }
+        if self.communication_active:
+            out.update({
+                "shuffle_words": self.shuffle_words,
+                "broadcast_words": self.broadcast_words,
+            })
         if self.recovery_active:
             out.update({
                 "attempts": self.total_attempts,

@@ -34,7 +34,7 @@ from typing import Any, Callable, List, Optional, Sequence
 from .errors import MachineCrashed
 from .executor import Executor, SerialExecutor
 from .faults import CorruptedOutput, FailedOutput, FaultDecision, FaultPlan
-from .machine import MachineResult, MachineTask
+from .machine import Broadcast, MachineResult, MachineTask
 
 __all__ = ["FaultInjectingExecutor"]
 
@@ -111,12 +111,15 @@ class FaultInjectingExecutor(Executor):
         """Name the round the next :meth:`run` call belongs to."""
         self._round_name = name
 
-    def run(self, tasks: Sequence[MachineTask]) -> List[MachineResult]:
-        return self.run_attempt(tasks, range(len(tasks)), attempt=1)
+    def run(self, tasks: Sequence[MachineTask],
+            broadcast: Optional[Broadcast] = None) -> List[MachineResult]:
+        return self.run_attempt(tasks, range(len(tasks)), attempt=1,
+                                broadcast=broadcast)
 
     def run_attempt(self, tasks: Sequence[MachineTask],
-                    indices: Sequence[int],
-                    attempt: int) -> List[MachineResult]:
+                    indices: Sequence[int], attempt: int,
+                    broadcast: Optional[Broadcast] = None
+                    ) -> List[MachineResult]:
         """Run one (re-)execution wave of a round.
 
         Parameters
@@ -128,6 +131,11 @@ class FaultInjectingExecutor(Executor):
             its identity (and its fault stream) across retries.
         attempt:
             1-based attempt number; retried attempts re-roll the dice.
+        broadcast:
+            The round's shared blob, forwarded to the inner executor
+            unchanged — the same :class:`~repro.mpc.machine.Broadcast`
+            object across every wave of a round, so the blob is
+            serialised at most once however many retries happen.
         """
         tasks = list(tasks)
         indices = list(indices)
@@ -144,7 +152,7 @@ class FaultInjectingExecutor(Executor):
                                  machine_index=index, attempt=attempt,
                                  realtime=self.realtime),
                 payload=task.payload))
-        results = self.inner.run(wrapped)
+        results = self.inner.run(wrapped, broadcast)
         for result, decision in zip(results, decisions):
             if decision.straggle_factor > 1.0:
                 result.work = int(result.work * decision.straggle_factor)

@@ -20,17 +20,26 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
-from typing import List, Sequence
+import pickle
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from .machine import MachineResult, MachineTask, execute_task
+from .machine import Broadcast, MachineResult, MachineTask, execute_task
 
 __all__ = ["Executor", "SerialExecutor", "ProcessPoolExecutor"]
 
 
 class Executor:
-    """Interface: run a round's tasks and return results in task order."""
+    """Interface: run a round's tasks and return results in task order.
 
-    def run(self, tasks: Sequence[MachineTask]) -> List[MachineResult]:
+    *broadcast* is the round's shared read-only blob (or ``None``); an
+    executor must deliver its ``.value`` merged under every task payload
+    — see :func:`repro.mpc.machine.execute_task` — but is free to choose
+    *how* the blob travels (by reference in-process, serialised once per
+    worker across processes).
+    """
+
+    def run(self, tasks: Sequence[MachineTask],
+            broadcast: Optional[Broadcast] = None) -> List[MachineResult]:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -46,8 +55,39 @@ class Executor:
 class SerialExecutor(Executor):
     """Run every machine in the current process, sequentially."""
 
-    def run(self, tasks: Sequence[MachineTask]) -> List[MachineResult]:
-        return [execute_task(task) for task in tasks]
+    def run(self, tasks: Sequence[MachineTask],
+            broadcast: Optional[Broadcast] = None) -> List[MachineResult]:
+        value = broadcast.value if broadcast is not None else None
+        return [execute_task(task, value) for task in tasks]
+
+
+# ---------------------------------------------------------------------------
+# Process-pool broadcast plumbing.  The blob crosses the process boundary
+# as pre-pickled bytes tagged with the round's token; each worker
+# deserialises a given token at most once and caches the value for the
+# round's remaining tasks (and any retry waves).
+
+#: token -> deserialised broadcast dict, per worker process.
+_worker_broadcast_cache: Dict[int, dict] = {}
+_WORKER_CACHE_LIMIT = 4
+
+
+def _resolve_broadcast(token: int, data: bytes) -> dict:
+    value = _worker_broadcast_cache.get(token)
+    if value is None:
+        value = pickle.loads(data)
+        while len(_worker_broadcast_cache) >= _WORKER_CACHE_LIMIT:
+            _worker_broadcast_cache.pop(next(iter(_worker_broadcast_cache)))
+        _worker_broadcast_cache[token] = value
+    return value
+
+
+def _execute_batch(batch: Tuple[Optional[Tuple[int, bytes]],
+                                List[MachineTask]]) -> List[MachineResult]:
+    """Worker entry point: run one batch of tasks sharing one broadcast."""
+    ref, tasks = batch
+    value = _resolve_broadcast(*ref) if ref is not None else None
+    return [execute_task(task, value) for task in tasks]
 
 
 class ProcessPoolExecutor(Executor):
@@ -90,11 +130,27 @@ class ProcessPoolExecutor(Executor):
                 max_workers=self.max_workers)
         return self._pool
 
-    def run(self, tasks: Sequence[MachineTask]) -> List[MachineResult]:
+    def run(self, tasks: Sequence[MachineTask],
+            broadcast: Optional[Broadcast] = None) -> List[MachineResult]:
         if not tasks:
             return []
         pool = self._ensure_pool()
-        return list(pool.map(execute_task, tasks, chunksize=self.chunksize))
+        if broadcast is None:
+            return list(pool.map(execute_task, tasks,
+                                 chunksize=self.chunksize))
+        # Broadcast round: ship the blob once per *batch* and cut the
+        # round into at most ``max_workers`` batches, so the serialised
+        # bytes cross the process boundary at most once per worker (the
+        # blob's own pickling already happened at most once per round,
+        # inside Broadcast.pickled()).
+        ref = (broadcast.token, broadcast.pickled())
+        per_batch = -(-len(tasks) // self.max_workers)
+        batches = [(ref, list(tasks[lo:lo + per_batch]))
+                   for lo in range(0, len(tasks), per_batch)]
+        out: List[MachineResult] = []
+        for chunk in pool.map(_execute_batch, batches, chunksize=1):
+            out.extend(chunk)
+        return out
 
     def close(self) -> None:
         if self._pool is not None:

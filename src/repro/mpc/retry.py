@@ -35,7 +35,7 @@ from .errors import RoundFailedError, RoundProtocolError
 from .executor import Executor
 from .faults import FaultPlan, is_failed
 from .machine import MachineTask
-from .simulator import MPCSimulator
+from .simulator import MPCSimulator, prepare_broadcast
 from .sizeof import sizeof
 
 __all__ = ["RetryPolicy", "ResilientSimulator"]
@@ -141,7 +141,8 @@ class ResilientSimulator(MPCSimulator):
     # ------------------------------------------------------------------
     def run_round(self, name: str, fn: Callable[[Any], Any],
                   payloads: Sequence[Any],
-                  allow_empty: bool = False) -> List[Any]:
+                  allow_empty: bool = False,
+                  broadcast: Optional[dict] = None) -> List[Any]:
         """Execute one MPC round, recovering from injected failures.
 
         Without a fault plan this is *exactly*
@@ -153,21 +154,25 @@ class ResilientSimulator(MPCSimulator):
         is ``None``, so consumers that pair outputs with payloads
         positionally stay aligned and must skip ``None``.  If every
         machine of the round is dropped, :class:`RoundFailedError` is
-        raised even in drop mode.
+        raised even in drop mode.  A *broadcast* blob (see
+        :meth:`MPCSimulator.run_round`) is wrapped once per round, so
+        retry waves reuse the same serialised bytes.
         """
         if self._chaos is None:
             return super().run_round(name, fn, payloads,
-                                     allow_empty=allow_empty)
+                                     allow_empty=allow_empty,
+                                     broadcast=broadcast)
 
         payloads = list(payloads)
         if not payloads and not allow_empty:
             raise RoundProtocolError(
                 f"round {name!r} was scheduled with zero machines")
 
-        round_stats = RoundStats(name=name)
+        blob, broadcast_words = prepare_broadcast(name, payloads, broadcast)
+        round_stats = RoundStats(name=name, broadcast_words=broadcast_words)
         input_sizes = []
         for i, payload in enumerate(payloads):
-            words = sizeof(payload)
+            words = sizeof(payload) + broadcast_words
             self._check(name, i, "input", words)
             input_sizes.append(words)
 
@@ -189,7 +194,8 @@ class ResilientSimulator(MPCSimulator):
                     time.sleep(delay)
             tasks = [MachineTask(fn=fn, payload=payloads[i])
                      for i in pending]
-            wave = self._chaos.run_attempt(tasks, pending, attempt)
+            wave = self._chaos.run_attempt(tasks, pending, attempt,
+                                           broadcast=blob)
             failed: List[int] = []
             for i, result in zip(pending, wave):
                 if is_failed(result.output):

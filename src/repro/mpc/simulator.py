@@ -26,13 +26,49 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, List, Optional, Sequence
 
+from typing import Dict, Tuple
+
 from .accounting import RoundStats, RunStats, add_work
 from .errors import MemoryLimitExceeded, RoundProtocolError
 from .executor import Executor, SerialExecutor
-from .machine import MachineTask
+from .machine import Broadcast, MachineTask
 from .sizeof import sizeof
 
 __all__ = ["MPCSimulator"]
+
+
+def prepare_broadcast(name: str, payloads: Sequence[Any],
+                      broadcast: Optional[Dict[str, Any]]
+                      ) -> Tuple[Optional[Broadcast], int]:
+    """Validate a round's broadcast blob and price its memory charge.
+
+    Returns ``(wrapped_blob, per_machine_words)``.  Broadcast rounds use
+    dict-merge semantics — every payload must be a dict whose keys are
+    disjoint from the blob's — so the effective machine input
+    ``{**broadcast, **payload}`` weighs exactly
+    ``sizeof(payload) + sizeof(broadcast) - 1`` words (the two dict
+    framing words collapse into one).  Charging that per machine keeps
+    the memory ledger identical to the replicate-into-every-payload
+    encoding the broadcast channel replaces.
+    """
+    if broadcast is None:
+        return None, 0
+    if not isinstance(broadcast, dict):
+        raise RoundProtocolError(
+            f"round {name!r}: broadcast must be a dict, got "
+            f"{type(broadcast).__name__}")
+    bkeys = set(broadcast)
+    for i, payload in enumerate(payloads):
+        if not isinstance(payload, dict):
+            raise RoundProtocolError(
+                f"round {name!r}: broadcast rounds require dict payloads, "
+                f"machine {i} got {type(payload).__name__}")
+        clash = bkeys.intersection(payload)
+        if clash:
+            raise RoundProtocolError(
+                f"round {name!r}: payload of machine {i} shadows "
+                f"broadcast key(s) {sorted(clash)!r}")
+    return Broadcast(broadcast), sizeof(broadcast) - 1
 
 
 class MPCSimulator:
@@ -77,7 +113,8 @@ class MPCSimulator:
     # ------------------------------------------------------------------
     def run_round(self, name: str, fn: Callable[[Any], Any],
                   payloads: Sequence[Any],
-                  allow_empty: bool = False) -> List[Any]:
+                  allow_empty: bool = False,
+                  broadcast: Optional[Dict[str, Any]] = None) -> List[Any]:
         """Execute one MPC round.
 
         Every element of *payloads* is routed to its own machine, which
@@ -98,22 +135,30 @@ class MPCSimulator:
             Permit a round with zero machines (otherwise a protocol
             error, because a zero-machine round is almost always a bug in
             the driver).
+        broadcast:
+            Optional dict of shared read-only data every machine of the
+            round receives merged under its payload
+            (``fn({**broadcast, **payload})``).  Charged to each
+            machine's memory exactly as if replicated into the payload,
+            but shipped to process-pool workers once per worker per
+            round instead of once per machine.
         """
         payloads = list(payloads)
         if not payloads and not allow_empty:
             raise RoundProtocolError(
                 f"round {name!r} was scheduled with zero machines")
 
-        round_stats = RoundStats(name=name)
+        blob, broadcast_words = prepare_broadcast(name, payloads, broadcast)
+        round_stats = RoundStats(name=name, broadcast_words=broadcast_words)
         input_sizes = []
         for i, payload in enumerate(payloads):
-            words = sizeof(payload)
+            words = sizeof(payload) + broadcast_words
             self._check(name, i, "input", words)
             input_sizes.append(words)
 
         start = time.perf_counter()
         results = self.executor.run(
-            [MachineTask(fn=fn, payload=p) for p in payloads])
+            [MachineTask(fn=fn, payload=p) for p in payloads], blob)
         round_stats.wall_seconds = time.perf_counter() - start
 
         outputs: List[Any] = []

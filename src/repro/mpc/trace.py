@@ -9,8 +9,8 @@ Field typing is explicit: every serialised round field has a declared
 target type in :data:`_FIELD_TYPES`, and a stored value that does not fit
 it raises (a float in an int field used to be silently truncated by the
 old default-value-derived coercion).  Ledgers written before the recovery
-counters existed load fine — missing fields keep their dataclass
-defaults.
+or shuffle/broadcast counters existed load fine — missing fields keep
+their dataclass defaults.
 """
 
 from __future__ import annotations
@@ -36,6 +36,9 @@ _FIELD_TYPES: Dict[str, type] = {
     "max_work": int,
     "total_work": int,
     "wall_seconds": float,
+    "broadcast_words": int,
+    "shuffle_words": int,
+    "shuffle_work": int,
     "attempts": int,
     "retried_machines": int,
     "dropped_machines": int,

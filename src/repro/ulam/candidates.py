@@ -28,8 +28,8 @@ from ..mpc.accounting import add_work
 from ..strings.ulam import local_ulam_from_matches, ulam_auto
 from .config import UlamConfig
 
-__all__ = ["BlockPayload", "make_block_payload", "run_block_machine",
-           "CandidateTuple"]
+__all__ = ["BlockPayload", "make_block_payload", "make_block_part",
+           "make_round1_broadcast", "run_block_machine", "CandidateTuple"]
 
 #: ``(block_lo, block_hi, win_lo, win_hi, distance)`` — all half-open.
 CandidateTuple = Tuple[int, int, int, int, int]
@@ -38,31 +38,55 @@ CandidateTuple = Tuple[int, int, int, int, int]
 BlockPayload = Dict[str, object]
 
 
-def make_block_payload(lo: int, hi: int, positions: np.ndarray, n_t: int,
-                       eps_prime: float, u_guesses: List[int],
-                       theta: float, seed: int,
-                       config: UlamConfig) -> BlockPayload:
-    """Assemble the round-1 payload for block ``s[lo:hi)``.
+def make_round1_broadcast(n_t: int, eps_prime: float, u_guesses: List[int],
+                          theta: float, config: UlamConfig) -> BlockPayload:
+    """The block-independent half of the round-1 payload.
 
-    ``positions[j]`` is the index of ``s[lo + j]`` inside ``s̄`` or ``-1``
-    if absent.  Word size is ``O(B + |u_guesses|)`` — within the
-    ``Õ_ε(n^(1-x))`` machine memory.
+    Every block machine needs the same target length, distance guesses and
+    Algorithm-1 constants; the driver ships them once over the broadcast
+    channel instead of replicating them into every block payload.
     """
     return {
-        "lo": int(lo),
-        "hi": int(hi),
-        "positions": np.asarray(positions, dtype=np.int64),
         "n_t": int(n_t),
         "eps_prime": float(eps_prime),
         "u_guesses": [int(u) for u in u_guesses],
         "theta": float(theta),
-        "seed": int(seed),
         "max_hits": config.max_hits,
         "max_candidates": config.max_candidates_per_block,
         "top_k": config.phase2_top_k,
         "local_radius_factor": int(config.local_radius_factor),
         "hit_radius_factor": int(config.hit_radius_factor),
     }
+
+
+def make_block_part(lo: int, hi: int, positions: np.ndarray,
+                    seed: int) -> BlockPayload:
+    """The block-specific half of the round-1 payload.
+
+    ``positions[j]`` is the index of ``s[lo + j]`` inside ``s̄`` or ``-1``
+    if absent.
+    """
+    return {
+        "lo": int(lo),
+        "hi": int(hi),
+        "positions": np.asarray(positions, dtype=np.int64),
+        "seed": int(seed),
+    }
+
+
+def make_block_payload(lo: int, hi: int, positions: np.ndarray, n_t: int,
+                       eps_prime: float, u_guesses: List[int],
+                       theta: float, seed: int,
+                       config: UlamConfig) -> BlockPayload:
+    """Assemble the full round-1 payload for block ``s[lo:hi)``.
+
+    Exactly the merge the machine sees when the driver runs the round
+    with :func:`make_round1_broadcast` as the broadcast blob and
+    :func:`make_block_part` as the payload.  Word size is
+    ``O(B + |u_guesses|)`` — within the ``Õ_ε(n^(1-x))`` machine memory.
+    """
+    return {**make_round1_broadcast(n_t, eps_prime, u_guesses, theta, config),
+            **make_block_part(lo, hi, positions, seed)}
 
 
 def _grid(lo: float, hi: float, gap: int, n: int) -> List[int]:

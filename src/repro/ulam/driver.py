@@ -24,11 +24,12 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..mpc.accounting import RunStats
+from ..mpc.plan import Pipeline, RoundSpec
 from ..mpc.simulator import MPCSimulator
 from ..params import UlamParams
 from ..strings.ulam import check_duplicate_free
-from .candidates import (CandidateTuple, make_block_payload,
-                         run_block_machine)
+from .candidates import (CandidateTuple, make_block_part,
+                         make_round1_broadcast, run_block_machine)
 from .combine import run_combine_machine
 from .config import UlamConfig
 
@@ -137,22 +138,27 @@ def mpc_ulam(s, t, x: float = 0.25, eps: float = 0.5,
     for bi, lo in enumerate(range(0, n, B)):
         hi = min(lo + B, n)
         block = S[lo:hi]
-        payloads.append(make_block_payload(
-            lo, hi, _positions_of_block(block, pos_t), len(T),
-            params.eps_prime, u_guesses, params.hitting_rate,
-            seed * (1 << 20) + bi, config))
+        payloads.append(make_block_part(
+            lo, hi, _positions_of_block(block, pos_t),
+            seed * (1 << 20) + bi))
 
-    outs = sim.run_round("ulam/1-candidates", run_block_machine, payloads)
     # A ResilientSimulator in drop mode leaves None at dropped machines'
-    # positions; their candidates are simply pruned.
-    tuples: List[CandidateTuple] = [tup for out in outs
-                                    if out is not None for tup in out]
+    # positions; their candidates are simply pruned by the collector.
+    tuples: List[CandidateTuple] = Pipeline(sim).round(RoundSpec(
+        "ulam/1-candidates", run_block_machine,
+        partitioner=lambda _: payloads,
+        broadcast=make_round1_broadcast(len(T), params.eps_prime, u_guesses,
+                                        params.hitting_rate, config),
+        collector=lambda outs, _: [tup for out in outs
+                                   if out is not None for tup in out]))
 
-    answer = sim.run_round(
+    answer = Pipeline(sim).round(RoundSpec(
         "ulam/2-combine", run_combine_machine,
-        [{"tuples": tuples, "n_s": n, "n_t": len(T), "mode": "max"}])[0]
+        partitioner=lambda tups: [{"tuples": tups, "n_s": n,
+                                   "n_t": len(T), "mode": "max"}],
+        collector=lambda outs, _: outs[0]), tuples)
     distance = min(int(answer), max(n, len(T)))
 
     return UlamResult(distance=distance, n=n, params=params,
-                      stats=sim.stats, n_tuples=len(tuples),
+                      stats=sim.stats.snapshot(), n_tuples=len(tuples),
                       tuples=tuples if keep_tuples else None)

@@ -1,0 +1,29 @@
+"""The CI boundary check itself, run as a test: no driver or benchmark
+may call ``sim.run_round`` directly — rounds go through repro.mpc.plan."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_no_direct_run_round_outside_mpc_package():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_api_boundary.py"),
+         str(ROOT)],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_checker_flags_a_violation(tmp_path):
+    bad = tmp_path / "src" / "repro" / "ulam"
+    bad.mkdir(parents=True)
+    (bad / "rogue.py").write_text(
+        "def f(sim):\n    return sim.run_round('r', id, [])\n")
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_api_boundary.py"),
+         str(tmp_path)],
+        capture_output=True, text=True)
+    assert proc.returncode == 1
+    assert "rogue.py:2" in proc.stdout

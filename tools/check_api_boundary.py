@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Enforce the round-pipeline API boundary (stdlib only, CI-friendly).
+
+Algorithm drivers must submit rounds through :mod:`repro.mpc.plan`
+(``Pipeline``/``RoundSpec``/``run_plan``) so that shuffle volume and
+broadcast charges are metered.  Direct ``sim.run_round(...)`` calls are
+the raw escape hatch and are allowed only *inside* the simulator
+package itself.
+
+Exit status 0 when clean; 1 with a per-offence listing otherwise.
+
+Usage::
+
+    python tools/check_api_boundary.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Directories scanned for offending calls (relative to the repo root).
+SCANNED = ("src", "benchmarks")
+
+#: The only package allowed to invoke the raw round primitive.
+ALLOWED = "src/repro/mpc/"
+
+CALL = re.compile(r"\.run_round\s*\(")
+
+
+def offences(root: pathlib.Path):
+    for top in SCANNED:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith(ALLOWED):
+                continue
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                stripped = line.split("#", 1)[0]
+                if CALL.search(stripped):
+                    yield rel, lineno, line.strip()
+
+
+def main(argv):
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else \
+        pathlib.Path(__file__).resolve().parent.parent
+    found = list(offences(root))
+    for rel, lineno, line in found:
+        print(f"{rel}:{lineno}: direct run_round call outside "
+              f"{ALLOWED}: {line}")
+    if found:
+        print(f"\n{len(found)} boundary violation(s). Route rounds "
+              "through repro.mpc.plan (Pipeline/RoundSpec) instead.")
+        return 1
+    print("API boundary clean: no direct run_round calls outside "
+          + ALLOWED)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
