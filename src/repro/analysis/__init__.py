@@ -1,8 +1,13 @@
-"""Analysis helpers: power-law exponent fits and report rendering."""
+"""Analysis helpers: power-law fits, skew analytics, report rendering."""
 
-from .report import (format_communication, format_kv,
-                     format_recovery, format_table)
+from .report import (format_communication, format_kv, format_recovery,
+                     format_skew, format_table, format_timeline)
 from .scaling import PowerLawFit, fit_power_law
+from .skew import (RoundSkew, TimelineRow, round_skew, timeline_rows,
+                   work_decomposition)
 
 __all__ = ["format_communication", "format_kv", "format_recovery",
-           "format_table", "PowerLawFit", "fit_power_law"]
+           "format_skew", "format_table", "format_timeline",
+           "PowerLawFit", "fit_power_law",
+           "RoundSkew", "TimelineRow", "round_skew", "timeline_rows",
+           "work_decomposition"]

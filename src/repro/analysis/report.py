@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
+from .skew import round_skew, timeline_rows, work_decomposition
+
 __all__ = ["format_table", "format_kv", "format_recovery",
-           "format_communication"]
+           "format_communication", "format_skew", "format_timeline"]
 
 
 def format_table(headers: Sequence[str],
@@ -102,3 +104,50 @@ def format_communication(stats) -> str:
     return format_table(
         ["round", "machines", "words_in", "words_out", "broadcast",
          "shuffle_words", "shuffle_work"], rows)
+
+
+def format_skew(spans: Sequence) -> str:
+    """Render per-round work-skew analytics from telemetry spans.
+
+    *spans* is a sequence of :class:`repro.mpc.telemetry.Span` (from an
+    in-memory tracer or :func:`repro.mpc.telemetry.read_jsonl`).  One
+    row per round: machine count, work mean/p50/p95/max, the straggler
+    ratio (``max_work / mean_work``; 1.0 = perfectly balanced), wall
+    p95, and discarded attempts.  A footer gives the critical-path vs
+    total-work decomposition of the whole run.
+    """
+    rows = []
+    for r in round_skew(spans):
+        rows.append([r.name, r.machines, r.work_mean, r.work_p50,
+                     r.work_p95, r.work_max, r.straggler_ratio,
+                     r.wall_p95, r.wasted_spans, r.wasted_work])
+    table = format_table(
+        ["round", "machines", "work_mean", "work_p50", "work_p95",
+         "work_max", "straggler", "wall_p95_s", "wasted", "wasted_work"],
+        rows)
+    d = work_decomposition(spans)
+    footer = (
+        f"critical path {d['critical_path_work']:.0f} of "
+        f"{d['total_work']:.0f} total work "
+        f"({d['critical_share']:.1%} serialised on stragglers, "
+        f"parallelism {d['parallelism']:.2f}x"
+        + (f", wasted {d['wasted_work']:.0f}" if d["wasted_work"] else "")
+        + ")")
+    return table + "\n" + footer
+
+
+def format_timeline(spans: Sequence) -> str:
+    """Render the run timeline from telemetry spans.
+
+    One row per round span, rebased to the earliest span: start/end
+    offsets and duration in milliseconds, machine count, distinct
+    worker processes, deepest attempt number, and discarded attempts.
+    """
+    rows = []
+    for r in timeline_rows(spans):
+        rows.append([r.name, r.t_start * 1e3, r.t_end * 1e3,
+                     r.duration * 1e3, r.machines, r.workers,
+                     r.attempts, r.wasted_spans])
+    return format_table(
+        ["round", "start_ms", "end_ms", "dur_ms", "machines", "workers",
+         "attempts", "wasted"], rows)

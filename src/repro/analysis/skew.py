@@ -1,0 +1,174 @@
+"""Straggler analytics over telemetry spans.
+
+The paper's per-machine resource claims (memory ``Õ_ε(n^(1-x))``,
+parallel time as the per-round critical path) are load-balance claims:
+they hold only if no machine does disproportionate work.  The ledger's
+round aggregates (``max_work``, ``total_work``) give the two endpoints;
+this module computes the distribution in between from the machine spans
+a :class:`repro.mpc.telemetry.Tracer` records — per-round work/time
+percentiles, a straggler ratio, and the critical-path vs total-work
+decomposition the parallel running time hinges on.
+
+All functions take a flat span sequence (e.g. from
+:attr:`repro.mpc.telemetry.Tracer.spans` or
+:func:`repro.mpc.telemetry.read_jsonl`); rendering lives in
+:mod:`repro.analysis.report` (``format_skew`` / ``format_timeline``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["RoundSkew", "TimelineRow", "round_skew", "timeline_rows",
+           "work_decomposition"]
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of *values* (q in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def _machine_spans(spans: Sequence) -> List:
+    return [s for s in spans if s.kind == "machine"]
+
+
+@dataclass(frozen=True)
+class RoundSkew:
+    """Work/time distribution of one round's machine invocations.
+
+    The distribution fields are computed over *successful* attempts (the
+    machines whose output the round actually used, matching the ledger's
+    ``machines`` count); discarded attempts are summarised separately in
+    ``wasted_spans`` / ``wasted_work``.  ``straggler_ratio`` is
+    ``work_max / work_mean`` — 1.0 means a perfectly balanced round,
+    and the paper's critical-path claims implicitly assume it stays
+    O(polylog).
+    """
+
+    name: str
+    machines: int
+    work_mean: float
+    work_p50: float
+    work_p95: float
+    work_max: int
+    straggler_ratio: float
+    wall_p50: float
+    wall_p95: float
+    wall_max: float
+    wasted_spans: int
+    wasted_work: int
+
+
+def round_skew(spans: Sequence) -> List[RoundSkew]:
+    """Per-round skew statistics, in first-appearance order."""
+    by_round: Dict[str, List] = {}
+    for s in _machine_spans(spans):
+        by_round.setdefault(s.name, []).append(s)
+    out: List[RoundSkew] = []
+    for name, group in by_round.items():
+        ok = [s for s in group if not s.wasted]
+        wasted = [s for s in group if s.wasted]
+        works = [s.work for s in ok]
+        walls = [s.duration for s in ok]
+        mean = (sum(works) / len(works)) if works else 0.0
+        out.append(RoundSkew(
+            name=name, machines=len(ok),
+            work_mean=mean,
+            work_p50=_percentile(works, 50),
+            work_p95=_percentile(works, 95),
+            work_max=max(works, default=0),
+            straggler_ratio=(max(works, default=0) / mean) if mean else 1.0,
+            wall_p50=_percentile(walls, 50),
+            wall_p95=_percentile(walls, 95),
+            wall_max=max(walls, default=0.0),
+            wasted_spans=len(wasted),
+            wasted_work=sum(s.work for s in wasted)))
+    return out
+
+
+@dataclass(frozen=True)
+class TimelineRow:
+    """One round's position on the run timeline (seconds from run start)."""
+
+    name: str
+    t_start: float
+    t_end: float
+    duration: float
+    machines: int
+    workers: int
+    attempts: int
+    wasted_spans: int
+
+
+def timeline_rows(spans: Sequence) -> List[TimelineRow]:
+    """Round spans as timeline rows, rebased to the earliest span.
+
+    Machine counts, distinct worker pids, and the deepest attempt number
+    are aggregated from the round's machine spans.
+    """
+    t0 = min((s.start for s in spans), default=0.0)
+    machines: Dict[str, List] = {}
+    for s in _machine_spans(spans):
+        machines.setdefault(s.name, []).append(s)
+    rows: List[TimelineRow] = []
+    for s in spans:
+        if s.kind != "round":
+            continue
+        group = machines.get(s.name, [])
+        rows.append(TimelineRow(
+            name=s.name, t_start=s.start - t0, t_end=s.end - t0,
+            duration=s.duration,
+            machines=sum(1 for m in group if not m.wasted),
+            workers=len({m.worker for m in group}),
+            attempts=max((m.attempt for m in group), default=1),
+            wasted_spans=sum(1 for m in group if m.wasted)))
+    rows.sort(key=lambda r: r.t_start)
+    return rows
+
+
+def work_decomposition(spans: Sequence) -> Dict[str, float]:
+    """Critical-path vs total-work decomposition of a traced run.
+
+    Returns a dict with:
+
+    ``total_work``
+        abstract work of all successful machine invocations (the
+        paper's *total computation*);
+    ``critical_path_work``
+        sum over rounds of the slowest machine's work (the paper's
+        *parallel running time*, up to the per-round constant);
+    ``wasted_work``
+        work of discarded attempts (nonzero only under a fault plan);
+    ``parallelism``
+        ``total_work / critical_path_work`` — the average number of
+        machines doing useful work along the critical path;
+    ``critical_share``
+        ``critical_path_work / total_work`` — the fraction of all
+        computation that is serialised on the stragglers.
+    """
+    by_round: Dict[str, int] = {}
+    total = wasted = 0
+    for s in _machine_spans(spans):
+        if s.wasted:
+            wasted += s.work
+            continue
+        total += s.work
+        by_round[s.name] = max(by_round.get(s.name, 0), s.work)
+    critical = sum(by_round.values())
+    return {
+        "total_work": float(total),
+        "critical_path_work": float(critical),
+        "wasted_work": float(wasted),
+        "parallelism": (total / critical) if critical else 1.0,
+        "critical_share": (critical / total) if total else 1.0,
+    }

@@ -12,11 +12,17 @@ Commands
 ``table1``  print all four analytic Table 1 rows for a given (n, x).
 ``chaos``   run ``ulam``/``edit`` under a seeded fault plan and print
             the per-round recovery ledger.
+``trace``   render timeline/skew reports from a saved JSONL span trace
+            (``--chrome`` additionally exports a Perfetto-loadable
+            Chrome trace-event file).
 
 The ``ulam`` and ``edit`` commands also accept ``--fault-plan`` /
 ``--retries`` / ``--on-exhausted`` / ``--realtime`` to exercise the
 algorithm under injected machine failures (see
-docs/ARCHITECTURE.md, "Failure model & recovery").
+docs/ARCHITECTURE.md, "Failure model & recovery"), plus ``--trace
+PATH`` (stream a per-machine span trace as JSONL) and ``--skew``
+(print straggler analytics after the run) — see docs/ARCHITECTURE.md,
+"Telemetry & span model".
 
 File inputs (``--s-file`` / ``--t-file``) are read as text; otherwise a
 seeded workload with a planted distance is generated.
@@ -72,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print the per-round communication "
                             "ledger (shuffle/broadcast words)")
 
+    def telemetry_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", type=str, default=None, metavar="PATH",
+                       help="stream a per-machine span trace to PATH "
+                            "(JSON lines; render with `repro trace`)")
+        p.add_argument("--skew", action="store_true",
+                       help="print per-round straggler analytics and the "
+                            "run timeline after the run")
+
     def chaos_opts(p: argparse.ArgumentParser) -> None:
         p.add_argument("--fault-plan", type=str, default=None,
                        metavar="SPEC",
@@ -89,9 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_ulam = sub.add_parser("ulam", help="Theorem 4 (1+eps, 2 rounds)")
     common(p_ulam, default_x=0.4, default_eps=0.5)
     chaos_opts(p_ulam)
+    telemetry_opts(p_ulam)
     p_edit = sub.add_parser("edit", help="Theorem 9 (3+eps, <=4 rounds)")
     common(p_edit, default_x=0.25, default_eps=1.0)
     chaos_opts(p_edit)
+    telemetry_opts(p_edit)
     common(sub.add_parser("lcs", help="LCS extension (2 rounds)"),
            default_x=0.25, default_eps=0.25)
     common(sub.add_parser("lis", help="LIS extension (2 rounds)"),
@@ -115,20 +131,87 @@ def build_parser() -> argparse.ArgumentParser:
     # after parsing, once --algo is known).
     common(ch, default_x=None, default_eps=None)
     chaos_opts(ch)
+    telemetry_opts(ch)
+
+    tr = sub.add_parser(
+        "trace", help="render timeline and skew reports from a saved "
+                      "JSONL span trace")
+    tr.add_argument("path", help="trace file written by --trace")
+    tr.add_argument("--chrome", type=str, default=None, metavar="OUT",
+                    help="also export a Chrome trace-event JSON file "
+                         "(loadable in https://ui.perfetto.dev)")
     return parser
 
 
-def _resilient_sim(args, memory_limit: int):
-    """Build a :class:`ResilientSimulator` from the chaos CLI flags,
-    or ``None`` when no fault plan was requested."""
-    if getattr(args, "fault_plan", None) is None:
+def _build_tracer(args):
+    """A :class:`~repro.mpc.telemetry.Tracer` from the telemetry CLI
+    flags, or ``None`` when neither ``--trace`` nor ``--skew`` was given.
+
+    This function (with ``repro.mpc`` itself) is the only sanctioned
+    sink construction site — drivers receive a ready tracer and stay
+    sink-agnostic (enforced by ``tools/check_api_boundary.py``).
+    """
+    if getattr(args, "trace", None) is None and not getattr(args, "skew",
+                                                            False):
         return None
+    from .mpc import InMemorySink, JsonlSink, Tracer
+    sinks = []
+    if args.trace is not None:
+        sinks.append(JsonlSink(args.trace))
+    if args.skew:
+        sinks.append(InMemorySink())
+    return Tracer(sinks)
+
+
+def _build_sim(args, memory_limit: int):
+    """Build the simulator the chaos/telemetry CLI flags ask for.
+
+    Returns ``None`` when neither a fault plan nor telemetry was
+    requested, so the driver creates its own default simulator."""
+    tracer = _build_tracer(args)
+    if getattr(args, "fault_plan", None) is None:
+        if tracer is None:
+            return None
+        from .mpc import MPCSimulator
+        return MPCSimulator(memory_limit=memory_limit, tracer=tracer)
     from .mpc import FaultPlan, ResilientSimulator, RetryPolicy
     plan = FaultPlan.from_spec(args.fault_plan, seed=args.seed)
     return ResilientSimulator(
         memory_limit=memory_limit, fault_plan=plan,
         retry_policy=RetryPolicy(max_attempts=args.retries),
-        on_exhausted=args.on_exhausted, realtime=args.realtime)
+        on_exhausted=args.on_exhausted, realtime=args.realtime,
+        tracer=tracer)
+
+
+def _run_traced(sim, label: str, thunk):
+    """Run *thunk* under the simulator's run span (if telemetry is on)."""
+    if sim is None or sim.tracer is None:
+        return thunk()
+    with sim.tracer.span("run", label):
+        return thunk()
+
+
+def _finish_telemetry(sim, args) -> None:
+    """Close the tracer (flushing file sinks) and print the requested
+    telemetry reports."""
+    if sim is None or sim.tracer is None:
+        return
+    tracer = sim.tracer
+    tracer.close()
+    if getattr(args, "skew", False):
+        from .analysis import format_skew, format_timeline
+        spans = tracer.spans
+        print()
+        print("Run timeline")
+        print("------------")
+        print(format_timeline(spans))
+        print()
+        print("Straggler analytics")
+        print("-------------------")
+        print(format_skew(spans))
+    if getattr(args, "trace", None) is not None:
+        print(f"\nspan trace written to {args.trace} "
+              f"(render with: repro trace {args.trace})")
 
 
 def _load_or_generate(args, kind: str):
@@ -183,23 +266,28 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "ulam":
         s, t = _load_or_generate(args, "perm")
-        sim = _resilient_sim(
+        sim = _build_sim(
             args, UlamParams(n=len(s), x=args.x, eps=args.eps).memory_limit)
-        res = mpc_ulam(s, t, x=args.x, eps=args.eps, seed=args.seed,
-                       sim=sim)
+        res = _run_traced(sim, "ulam",
+                          lambda: mpc_ulam(s, t, x=args.x, eps=args.eps,
+                                           seed=args.seed, sim=sim))
         exact = ulam_distance(s, t) if args.exact else None
         _print_result("MPC Ulam distance (Theorem 4)", res.distance,
                       exact, res.stats, {"guarantee": f"1+{args.eps}"},
                       show_comm=args.comm)
+        _finish_telemetry(sim, args)
         return 0
 
     if args.command == "edit":
         s, t = _load_or_generate(args, "str")
-        sim = _resilient_sim(
+        sim = _build_sim(
             args, EditParams(n=max(len(s), 2), x=args.x,
                              eps=args.eps).memory_limit)
-        res = mpc_edit_distance(s, t, x=args.x, eps=args.eps,
-                                seed=args.seed, sim=sim)
+        res = _run_traced(sim, "edit",
+                          lambda: mpc_edit_distance(s, t, x=args.x,
+                                                    eps=args.eps,
+                                                    seed=args.seed,
+                                                    sim=sim))
         exact = levenshtein(s, t) if args.exact else None
         _print_result("MPC edit distance (Theorem 9)", res.distance,
                       exact, res.stats,
@@ -207,6 +295,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                        "regime": res.regime,
                        "accepted_guess": res.accepted_guess},
                       show_comm=args.comm)
+        _finish_telemetry(sim, args)
         return 0
 
     if args.command == "chaos":
@@ -221,20 +310,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.eps = 0.5 if args.algo == "ulam" else 1.0
         if args.algo == "ulam":
             s, t = _load_or_generate(args, "perm")
-            sim = _resilient_sim(
+            sim = _build_sim(
                 args,
                 UlamParams(n=len(s), x=args.x, eps=args.eps).memory_limit)
-            res = mpc_ulam(s, t, x=args.x, eps=args.eps, seed=args.seed,
-                           sim=sim)
+            res = _run_traced(sim, "chaos-ulam",
+                              lambda: mpc_ulam(s, t, x=args.x,
+                                               eps=args.eps,
+                                               seed=args.seed, sim=sim))
             exact = ulam_distance(s, t) if args.exact else None
             title = "Chaos run: MPC Ulam distance (Theorem 4)"
         else:
             s, t = _load_or_generate(args, "str")
-            sim = _resilient_sim(
+            sim = _build_sim(
                 args, EditParams(n=max(len(s), 2), x=args.x,
                                  eps=args.eps).memory_limit)
-            res = mpc_edit_distance(s, t, x=args.x, eps=args.eps,
-                                    seed=args.seed, sim=sim)
+            res = _run_traced(sim, "chaos-edit",
+                              lambda: mpc_edit_distance(s, t, x=args.x,
+                                                        eps=args.eps,
+                                                        seed=args.seed,
+                                                        sim=sim))
             exact = levenshtein(s, t) if args.exact else None
             title = "Chaos run: MPC edit distance (Theorem 9)"
         _print_result(title, res.distance, exact, res.stats,
@@ -245,6 +339,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("Recovery ledger")
         print("---------------")
         print(format_recovery(res.stats))
+        _finish_telemetry(sim, args)
+        return 0
+
+    if args.command == "trace":
+        from .analysis import format_skew, format_timeline
+        from .mpc import export_chrome_trace, read_jsonl
+        spans = read_jsonl(args.path)
+        if not spans:
+            raise SystemExit(f"{args.path}: no spans")
+        print("Run timeline")
+        print("------------")
+        print(format_timeline(spans))
+        print()
+        print("Straggler analytics")
+        print("-------------------")
+        print(format_skew(spans))
+        if args.chrome is not None:
+            export_chrome_trace(spans, args.chrome)
+            print(f"\nChrome trace written to {args.chrome} "
+                  "(open in https://ui.perfetto.dev)")
         return 0
 
     if args.command == "lcs":

@@ -18,6 +18,12 @@ function with its partitioner, optional broadcast blob, and collector,
 and a :class:`~repro.mpc.plan.Pipeline` runs spec sequences on either
 simulator while charging shuffle/broadcast volume to the ledger.  See
 docs/ARCHITECTURE.md, "Round plans & shuffle accounting".
+
+The telemetry layer (:mod:`repro.mpc.telemetry`) records one span per
+machine invocation (retry attempts included) plus round/collector/run
+spans through pluggable sinks — in-memory, streamed JSONL, and a
+Perfetto-loadable Chrome trace-event export — off by default and free
+when disabled.  See docs/ARCHITECTURE.md, "Telemetry & span model".
 """
 
 from .accounting import (RoundStats, RunStats, WorkMeter, add_work,
@@ -27,13 +33,15 @@ from .errors import (MachineCrashed, MemoryLimitExceeded, MPCError,
                      RoundFailedError, RoundProtocolError)
 from .executor import Executor, ProcessPoolExecutor, SerialExecutor
 from .faults import (CorruptedOutput, FailedOutput, FaultDecision,
-                     FaultPlan, is_failed)
+                     FaultPlan, fault_kind, is_failed)
 from .machine import Broadcast, MachineResult, MachineTask, execute_task
 from .partition import block_of, blocks, chunk, pack_by_weight
 from .plan import Pipeline, RoundSpec, run_plan
 from .retry import ResilientSimulator, RetryPolicy
 from .simulator import MPCSimulator, prepare_broadcast
 from .sizeof import sizeof
+from .telemetry import (InMemorySink, JsonlSink, Sink, Span, Tracer,
+                        export_chrome_trace, read_jsonl)
 from .trace import (load_run_stats, run_stats_from_dict,
                     run_stats_to_dict, save_run_stats)
 from .utils import distributed_equal
@@ -45,7 +53,7 @@ __all__ = [
     "Executor", "ProcessPoolExecutor", "SerialExecutor",
     "FaultInjectingExecutor",
     "CorruptedOutput", "FailedOutput", "FaultDecision", "FaultPlan",
-    "is_failed",
+    "fault_kind", "is_failed",
     "ResilientSimulator", "RetryPolicy",
     "Broadcast", "MachineResult", "MachineTask", "execute_task",
     "block_of", "blocks", "chunk", "pack_by_weight",
@@ -53,4 +61,6 @@ __all__ = [
     "MPCSimulator", "prepare_broadcast", "sizeof",
     "load_run_stats", "run_stats_from_dict", "run_stats_to_dict",
     "save_run_stats", "isolated_meters", "distributed_equal",
+    "Span", "Sink", "InMemorySink", "JsonlSink", "Tracer",
+    "read_jsonl", "export_chrome_trace",
 ]

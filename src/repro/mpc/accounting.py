@@ -119,11 +119,16 @@ class RoundStats:
     shuffle_work: int = 0
     # Recovery accounting (nonzero only under a fault plan; see
     # repro.mpc.retry.ResilientSimulator).  ``attempts`` is the number of
-    # execution waves the round needed (1 = no failures); ``wasted_work``
-    # is the abstract work of attempts whose output was discarded.
+    # execution waves the round needed (1 = no failures);
+    # ``failed_attempts`` counts the individual machine executions whose
+    # output was discarded (so ``machines + failed_attempts`` is the
+    # round's true invocation count, matching the telemetry layer's
+    # machine-span count); ``wasted_work`` is the abstract work of those
+    # discarded attempts.
     attempts: int = 1
     retried_machines: int = 0
     dropped_machines: int = 0
+    failed_attempts: int = 0
     wasted_work: int = 0
     wasted_wall_seconds: float = 0.0
 
@@ -163,6 +168,16 @@ class RunStats:
     def total_machine_invocations(self) -> int:
         """Sum of machine invocations across all rounds."""
         return sum(r.machines for r in self.rounds)
+
+    @property
+    def total_machine_attempts(self) -> int:
+        """Machine executions including discarded retry attempts.
+
+        This is the quantity a span trace counts: one machine span per
+        execution, successful or wasted.  Equal to
+        :attr:`total_machine_invocations` when no machine ever failed.
+        """
+        return sum(r.machines + r.failed_attempts for r in self.rounds)
 
     @property
     def max_memory_words(self) -> int:
@@ -234,6 +249,11 @@ class RunStats:
         return sum(r.dropped_machines for r in self.rounds)
 
     @property
+    def failed_attempts(self) -> int:
+        """Machine executions whose output was discarded, over all rounds."""
+        return sum(r.failed_attempts for r in self.rounds)
+
+    @property
     def wasted_work(self) -> int:
         """Abstract work spent on attempts whose output was discarded."""
         return sum(r.wasted_work for r in self.rounds)
@@ -275,6 +295,7 @@ class RunStats:
             combined.attempts = r.attempts
             combined.retried_machines = r.retried_machines
             combined.dropped_machines = r.dropped_machines
+            combined.failed_attempts = r.failed_attempts
             combined.wasted_work = r.wasted_work
             combined.wasted_wall_seconds = r.wasted_wall_seconds
             if i < len(shorter):
@@ -301,6 +322,7 @@ class RunStats:
                 combined.attempts = max(combined.attempts, o.attempts)
                 combined.retried_machines += o.retried_machines
                 combined.dropped_machines += o.dropped_machines
+                combined.failed_attempts += o.failed_attempts
                 combined.wasted_work += o.wasted_work
                 combined.wasted_wall_seconds = max(
                     combined.wasted_wall_seconds, o.wasted_wall_seconds)
@@ -311,7 +333,7 @@ class RunStats:
     def recovery_active(self) -> bool:
         """True when any round saw a retry, a drop, or wasted work."""
         return bool(self.retried_machines or self.dropped_machines
-                    or self.wasted_work
+                    or self.failed_attempts or self.wasted_work
                     or self.total_attempts != self.n_rounds)
 
     def summary(self) -> dict:
@@ -341,6 +363,7 @@ class RunStats:
                 "attempts": self.total_attempts,
                 "retried_machines": self.retried_machines,
                 "dropped_machines": self.dropped_machines,
+                "failed_attempts": self.failed_attempts,
                 "wasted_work": self.wasted_work,
             })
         return out

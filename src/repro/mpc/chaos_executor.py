@@ -155,6 +155,10 @@ class FaultInjectingExecutor(Executor):
         results = self.inner.run(wrapped, broadcast)
         for result, decision in zip(results, decisions):
             if decision.straggle_factor > 1.0:
+                # Telemetry reads spans as [started, started+wall_seconds),
+                # so inflating wall_seconds here stretches the straggler's
+                # span on the trace timeline exactly as it stretches the
+                # recorded round wall-clock.
                 result.work = int(result.work * decision.straggle_factor)
                 result.wall_seconds *= decision.straggle_factor
         return results

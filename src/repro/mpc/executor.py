@@ -13,7 +13,12 @@ Both executors below preserve that semantics:
 
 Executors only run tasks; all memory enforcement and accounting lives in
 :class:`repro.mpc.simulator.MPCSimulator` so that both executors are
-measured identically.
+measured identically.  The same holds for telemetry
+(:mod:`repro.mpc.telemetry`): executors never emit spans themselves —
+each :class:`~repro.mpc.machine.MachineResult` carries its worker pid
+and monotonic start time back across the process boundary as plain
+picklable fields, and the simulator turns results into spans, so traces
+are attributed identically under both executors.
 """
 
 from __future__ import annotations

@@ -45,7 +45,7 @@ import random
 from dataclasses import dataclass
 
 __all__ = ["FaultDecision", "FaultPlan", "CorruptedOutput", "FailedOutput",
-           "is_failed"]
+           "is_failed", "fault_kind"]
 
 
 @dataclass(frozen=True)
@@ -103,6 +103,19 @@ class FailedOutput:
 def is_failed(output: object) -> bool:
     """True when *output* is unusable and the machine should be retried."""
     return isinstance(output, (FailedOutput, CorruptedOutput))
+
+
+def fault_kind(output: object) -> str:
+    """The failure label of *output* for telemetry spans.
+
+    ``"crash"`` / ``"error"`` for :class:`FailedOutput`, ``"corrupt"``
+    for :class:`CorruptedOutput`, ``""`` for a usable output.
+    """
+    if isinstance(output, FailedOutput):
+        return output.kind
+    if isinstance(output, CorruptedOutput):
+        return "corrupt"
+    return ""
 
 
 @dataclass(frozen=True)

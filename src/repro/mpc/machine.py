@@ -21,6 +21,7 @@ payload.
 from __future__ import annotations
 
 import itertools
+import os
 import pickle
 import time
 from dataclasses import dataclass
@@ -97,11 +98,22 @@ class MachineTask:
 
 @dataclass
 class MachineResult:
-    """Output of one machine plus its local resource usage."""
+    """Output of one machine plus its local resource usage.
+
+    ``worker`` and ``started`` exist for the telemetry layer
+    (:mod:`repro.mpc.telemetry`): they are filled in by
+    :func:`execute_task` *inside the executing process*, so per-machine
+    spans survive the process-pool boundary as plain result fields —
+    ``worker`` is the OS pid that ran the task and ``started`` its
+    ``time.perf_counter()`` start (a system-wide monotonic clock on
+    Linux, hence comparable across workers and the driver).
+    """
 
     output: Any
     work: int
     wall_seconds: float
+    worker: int = 0
+    started: float = 0.0
 
 
 def execute_task(task: MachineTask,
@@ -122,4 +134,5 @@ def execute_task(task: MachineTask,
     with isolated_meters(), WorkMeter() as meter:
         output = task.fn(payload)
     return MachineResult(output=output, work=meter.total,
-                         wall_seconds=time.perf_counter() - start)
+                         wall_seconds=time.perf_counter() - start,
+                         worker=os.getpid(), started=start)

@@ -55,12 +55,15 @@ routing cost, kept separate from machine compute.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from .accounting import WorkMeter
 from .simulator import MPCSimulator
 from .sizeof import sizeof
+from .telemetry import Span
 
 __all__ = ["RoundSpec", "Pipeline", "run_plan"]
 
@@ -142,14 +145,26 @@ class Pipeline:
                                      broadcast=broadcast)
         if spec.collector is None:
             return outputs
+        collect_start = time.perf_counter()
         with WorkMeter() as meter:
             next_state = spec.collector(outputs, state)
+        collect_end = time.perf_counter()
         # Charge the shuffle to the round that produced it.  run_round
         # appended the round's stats last — also true for the resilient
         # subclass — so the ledger row is still addressable here.
         round_stats = self.sim.stats.rounds[-1]
+        shuffle_words = sizeof(next_state)
         round_stats.shuffle_work += meter.total
-        round_stats.shuffle_words += sizeof(next_state)
+        round_stats.shuffle_words += shuffle_words
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # Collector span: ``work`` is the shuffle work metered inside
+            # the collector, ``output_words`` the shuffle volume routed
+            # into the next round's state.
+            tracer.emit(Span(
+                kind="collect", name=spec.name, worker=os.getpid(),
+                start=collect_start, end=collect_end,
+                work=meter.total, output_words=shuffle_words))
         return next_state
 
     # ------------------------------------------------------------------

@@ -25,18 +25,20 @@ With no fault plan configured the simulator takes the pre-existing
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .accounting import RoundStats, add_work
 from .chaos_executor import FaultInjectingExecutor
 from .errors import RoundFailedError, RoundProtocolError
 from .executor import Executor
-from .faults import FaultPlan, is_failed
+from .faults import FaultPlan, fault_kind, is_failed
 from .machine import MachineTask
 from .simulator import MPCSimulator, prepare_broadcast
 from .sizeof import sizeof
+from .telemetry import Span, Tracer
 
 __all__ = ["RetryPolicy", "ResilientSimulator"]
 
@@ -93,9 +95,12 @@ class ResilientSimulator(MPCSimulator):
 
     Parameters
     ----------
-    memory_limit, executor, strict:
+    memory_limit, executor, strict, tracer:
         As for the base simulator; *executor* is the **inner** executor
-        (serial or process pool) that actually runs machines.
+        (serial or process pool) that actually runs machines.  With a
+        *tracer*, every attempt of every machine emits its own span —
+        discarded attempts with ``wasted=True`` and their fault kind —
+        so a trace shows exactly where retry waves burned wall-clock.
     fault_plan:
         The seeded failure model to inject.  ``None`` disables injection
         entirely and every round takes the base code path.
@@ -123,9 +128,10 @@ class ResilientSimulator(MPCSimulator):
                  fault_plan: Optional[FaultPlan] = None,
                  retry_policy: Optional[RetryPolicy] = None,
                  on_exhausted: str = "raise",
-                 realtime: bool = False) -> None:
+                 realtime: bool = False,
+                 tracer: Optional[Tracer] = None) -> None:
         super().__init__(memory_limit=memory_limit, executor=executor,
-                         strict=strict)
+                         strict=strict, tracer=tracer)
         if on_exhausted not in ("raise", "drop"):
             raise ValueError("on_exhausted must be 'raise' or 'drop', got "
                              f"{on_exhausted!r}")
@@ -177,8 +183,10 @@ class ResilientSimulator(MPCSimulator):
             input_sizes.append(words)
 
         policy = self.retry_policy
+        tracer = self.tracer
         self._chaos.set_round(name)
         results: List[Any] = [None] * len(payloads)
+        success_attempt: Dict[int, int] = {}
         pending = list(range(len(payloads)))
         retried: set = set()
         dropped: List[int] = []
@@ -200,13 +208,24 @@ class ResilientSimulator(MPCSimulator):
             for i, result in zip(pending, wave):
                 if is_failed(result.output):
                     failed.append(i)
+                    round_stats.failed_attempts += 1
                     round_stats.wasted_work += result.work
                     round_stats.wasted_wall_seconds += result.wall_seconds
                     # The cluster really burned this work; charge any
                     # enclosing meter even though the output is discarded.
                     add_work(result.work)
+                    if tracer is not None:
+                        tracer.emit(Span(
+                            kind="machine", name=name, machine=i,
+                            attempt=attempt, worker=result.worker,
+                            start=result.started,
+                            end=result.started + result.wall_seconds,
+                            work=result.work, input_words=input_sizes[i],
+                            broadcast_words=broadcast_words,
+                            wasted=True, fault=fault_kind(result.output)))
                 else:
                     results[i] = result
+                    success_attempt[i] = attempt
             if not failed:
                 break
             out_of_budget = (policy.retry_budget is not None and
@@ -235,11 +254,28 @@ class ResilientSimulator(MPCSimulator):
             round_stats.observe_machine(input_sizes[i], out_words,
                                         result.work)
             add_work(result.work)
+            if tracer is not None:
+                tracer.emit(Span(
+                    kind="machine", name=name, machine=i,
+                    attempt=success_attempt.get(i, 1),
+                    worker=result.worker, start=result.started,
+                    end=result.started + result.wall_seconds,
+                    work=result.work, input_words=input_sizes[i],
+                    output_words=out_words,
+                    broadcast_words=broadcast_words))
             outputs.append(result.output)
 
         round_stats.attempts = attempt
         round_stats.retried_machines = len(retried)
         round_stats.dropped_machines = len(dropped)
+        if tracer is not None:
+            tracer.emit(Span(
+                kind="round", name=name, worker=os.getpid(),
+                start=start, end=time.perf_counter(),
+                work=round_stats.total_work,
+                input_words=round_stats.total_input_words,
+                output_words=round_stats.total_output_words,
+                broadcast_words=broadcast_words))
         self.stats.rounds.append(round_stats)
         return outputs
 
@@ -256,4 +292,5 @@ class ResilientSimulator(MPCSimulator):
             memory_limit=self.memory_limit, executor=self.executor,
             strict=self.strict, fault_plan=self.fault_plan,
             retry_policy=self.retry_policy,
-            on_exhausted=self.on_exhausted, realtime=self.realtime)
+            on_exhausted=self.on_exhausted, realtime=self.realtime,
+            tracer=self.tracer)

@@ -23,6 +23,7 @@ plan it executes this class's ``run_round`` unchanged.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -33,6 +34,7 @@ from .errors import MemoryLimitExceeded, RoundProtocolError
 from .executor import Executor, SerialExecutor
 from .machine import Broadcast, MachineTask
 from .sizeof import sizeof
+from .telemetry import Span, Tracer
 
 __all__ = ["MPCSimulator"]
 
@@ -88,14 +90,22 @@ class MPCSimulator:
         :class:`~repro.mpc.errors.MemoryLimitExceeded`.  When ``False``
         violations are recorded in :attr:`violations` but execution
         continues — handy for exploratory parameter sweeps.
+    tracer:
+        Optional :class:`~repro.mpc.telemetry.Tracer`; when set, every
+        machine invocation and every round emits a span.  ``None``
+        (default) disables telemetry entirely — the only cost is one
+        ``is None`` check per round, the same cheap-no-op pattern as
+        :func:`~repro.mpc.accounting.add_work`.
     """
 
     def __init__(self, memory_limit: Optional[int] = None,
                  executor: Optional[Executor] = None,
-                 strict: bool = True) -> None:
+                 strict: bool = True,
+                 tracer: Optional[Tracer] = None) -> None:
         self.memory_limit = memory_limit
         self.executor = executor or SerialExecutor()
         self.strict = strict
+        self.tracer = tracer
         self.stats = RunStats()
         self.violations: List[MemoryLimitExceeded] = []
 
@@ -161,6 +171,7 @@ class MPCSimulator:
             [MachineTask(fn=fn, payload=p) for p in payloads], blob)
         round_stats.wall_seconds = time.perf_counter() - start
 
+        tracer = self.tracer
         outputs: List[Any] = []
         for i, result in enumerate(results):
             out_words = sizeof(result.output)
@@ -171,8 +182,24 @@ class MPCSimulator:
             # itself, so ``with WorkMeter() as m: algo(sim)`` sees the whole
             # computation even under a process-pool executor.
             add_work(result.work)
+            if tracer is not None:
+                tracer.emit(Span(
+                    kind="machine", name=name, machine=i,
+                    worker=result.worker, start=result.started,
+                    end=result.started + result.wall_seconds,
+                    work=result.work, input_words=input_sizes[i],
+                    output_words=out_words,
+                    broadcast_words=broadcast_words))
             outputs.append(result.output)
 
+        if tracer is not None:
+            tracer.emit(Span(
+                kind="round", name=name, worker=os.getpid(),
+                start=start, end=time.perf_counter(),
+                work=round_stats.total_work,
+                input_words=round_stats.total_input_words,
+                output_words=round_stats.total_output_words,
+                broadcast_words=broadcast_words))
         self.stats.rounds.append(round_stats)
         return outputs
 
@@ -185,7 +212,8 @@ class MPCSimulator:
         own simulator and the driver merges the statistics afterwards.
         """
         return MPCSimulator(memory_limit=self.memory_limit,
-                            executor=self.executor, strict=self.strict)
+                            executor=self.executor, strict=self.strict,
+                            tracer=self.tracer)
 
     def absorb(self, other: "MPCSimulator") -> None:
         """Merge a sibling simulator's rounds as if run concurrently."""

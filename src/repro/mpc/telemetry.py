@@ -1,0 +1,288 @@
+"""Per-machine span telemetry: structured event tracing for MPC runs.
+
+The ledger (:mod:`repro.mpc.accounting`) records round-level aggregates —
+``max_work``, ``total_work`` — which is exactly what Table 1 needs but
+says nothing about *which* machine was the straggler, how skewed the work
+distribution across the fleet was, or where retry waves burned wall-clock
+under a fault plan.  This module records the missing machine-level view:
+one :class:`Span` per machine invocation (every attempt, including the
+wasted ones), plus round / collector / run spans, emitted through
+pluggable :class:`Sink` objects.
+
+Span model
+----------
+A span is a flat, JSON-friendly record with a half-open monotonic time
+interval ``[start, end)``:
+
+===============  ============================================================
+``kind``         ``"machine"`` | ``"round"`` | ``"collect"`` | ``"run"``
+``name``         round name (or run label for ``"run"`` spans)
+``machine``      machine index within the round; ``-1`` for non-machine spans
+``attempt``      1-based execution attempt (retries increment it)
+``worker``       OS pid of the process that executed the span
+``start, end``   ``time.perf_counter()`` seconds (system-wide monotonic
+                 clock on Linux, so worker and driver spans share a
+                 timeline even across a process pool)
+``work``         abstract work units (for ``"collect"``: shuffle work)
+``input_words``  payload + broadcast charge, in MPC words
+``output_words`` output size in MPC words (for ``"collect"``: shuffle words)
+``broadcast_words``  per-machine broadcast charge of the span's round
+``wasted``       True when the attempt's output was discarded
+``fault``        ``""`` | ``"crash"`` | ``"corrupt"`` | ``"error"``
+===============  ============================================================
+
+Sinks
+-----
+* :class:`InMemorySink` — appends spans to a list (analytics, tests).
+* :class:`JsonlSink` — streams one JSON object per line, flushed per
+  span, so a crashed run leaves a readable prefix (never a truncated
+  JSON document).
+* :func:`export_chrome_trace` — converts spans to the Chrome trace-event
+  format (``ph``/``ts``/``dur``/``pid``/``tid``), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.
+
+Telemetry is **off by default**: a simulator constructed without a
+:class:`Tracer` performs a single ``is None`` check per round — the same
+cheap-no-op pattern as :func:`repro.mpc.accounting.add_work` — and emits
+nothing.  Drivers never construct sinks themselves (CI enforces this via
+``tools/check_api_boundary.py``); they accept a pre-built tracer so the
+choice of sink stays with the caller (CLI, benchmark, notebook).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, fields
+from typing import IO, Iterator, List, Optional, Sequence, Union
+
+__all__ = ["Span", "Sink", "InMemorySink", "JsonlSink", "Tracer",
+           "read_jsonl", "export_chrome_trace"]
+
+#: Span kinds, in nesting order (a run contains rounds, a round contains
+#: machine attempts and at most one collect span).
+SPAN_KINDS = ("run", "round", "machine", "collect")
+
+
+@dataclass
+class Span:
+    """One timed event of an MPC execution (see the module docstring)."""
+
+    kind: str
+    name: str
+    machine: int = -1
+    attempt: int = 1
+    worker: int = 0
+    start: float = 0.0
+    end: float = 0.0
+    work: int = 0
+    input_words: int = 0
+    output_words: int = 0
+    broadcast_words: int = 0
+    wasted: bool = False
+    fault: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """The span as a flat JSON-serialisable dict."""
+        return asdict(self)
+
+
+_SPAN_FIELDS = {f.name for f in fields(Span)}
+
+
+def span_from_dict(data: dict) -> Span:
+    """Inverse of :meth:`Span.to_dict`.
+
+    Unknown keys raise ``ValueError`` (schema drift from a newer writer
+    should be loud, matching :mod:`repro.mpc.trace`).
+    """
+    unknown = sorted(set(data) - _SPAN_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown span field(s) {unknown}; "
+                         "was this trace written by a newer version?")
+    return Span(**data)
+
+
+class Sink:
+    """Interface: receive spans one at a time as the run progresses.
+
+    Implementations must tolerate spans arriving out of timeline order
+    (a round's machine spans are emitted when the round completes, and
+    worker clocks interleave).
+    """
+
+    def emit(self, span: Span) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any held resources.  Default: nothing."""
+
+
+class InMemorySink(Sink):
+    """Collects spans in a list, for analytics and tests."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    def emit(self, span: Span) -> None:
+        self.spans.append(span)
+
+
+class JsonlSink(Sink):
+    """Streams spans to a JSON-lines file, one flushed line per span.
+
+    Because every line is written and flushed atomically with its
+    trailing newline, a run that dies mid-way leaves a valid JSONL
+    prefix — at worst the final line is truncated, which
+    :func:`read_jsonl` tolerates.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._fh: Optional[IO[str]] = open(self.path, "w")
+
+    def emit(self, span: Span) -> None:
+        if self._fh is None:
+            raise ValueError(f"JsonlSink({str(self.path)!r}) is closed")
+        self._fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_jsonl(path: Union[str, pathlib.Path]) -> List[Span]:
+    """Load the spans of a :class:`JsonlSink` trace file.
+
+    A truncated *final* line (crash mid-write) is skipped; a malformed
+    line anywhere else raises ``ValueError``.
+    """
+    spans: List[Span] = []
+    lines = pathlib.Path(path).read_text().split("\n")
+    # A complete file ends with "\n", so the last split element is "".
+    ends_complete = lines and lines[-1] == ""
+    body = lines[:-1] if lines else []
+    for lineno, line in enumerate(body, start=1):
+        try:
+            spans.append(span_from_dict(json.loads(line)))
+        except (json.JSONDecodeError, TypeError):
+            if lineno == len(body) and not ends_complete:
+                break               # crash-truncated tail: keep the prefix
+            raise ValueError(
+                f"{path}:{lineno}: malformed span line {line!r}")
+    return spans
+
+
+class Tracer:
+    """Fans spans out to a set of sinks; the simulator's telemetry handle.
+
+    A tracer with no sinks is valid but pointless; ``None`` (the
+    simulator default) is the disabled state — every emission site is
+    guarded by a single ``tracer is not None`` check, so runs without
+    telemetry pay nothing.
+    """
+
+    def __init__(self, sinks: Sequence[Sink]) -> None:
+        self.sinks = list(sinks)
+
+    # -- convenience constructors (the sanctioned way for drivers and
+    #    benchmarks to get a tracer without naming a sink class) --------
+    @classmethod
+    def to_jsonl(cls, path: Union[str, pathlib.Path]) -> "Tracer":
+        """A tracer streaming to a JSONL trace file at *path*."""
+        return cls([JsonlSink(path)])
+
+    @classmethod
+    def in_memory(cls) -> "Tracer":
+        """A tracer collecting spans in memory (see :attr:`spans`)."""
+        return cls([InMemorySink()])
+
+    @property
+    def spans(self) -> List[Span]:
+        """Spans collected by this tracer's in-memory sinks."""
+        return [s for sink in self.sinks if isinstance(sink, InMemorySink)
+                for s in sink.spans]
+
+    def emit(self, span: Span) -> None:
+        """Forward *span* to every sink."""
+        for sink in self.sinks:
+            sink.emit(span)
+
+    @contextmanager
+    def span(self, kind: str, name: str) -> Iterator[None]:
+        """Context manager timing a driver-side span (e.g. the run span).
+
+        The span is emitted on exit — even on error, so a crashed run's
+        trace still shows how far it got.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.emit(Span(kind=kind, name=name, worker=os.getpid(),
+                           start=start, end=time.perf_counter()))
+
+    def close(self) -> None:
+        """Close every sink (flushes file-backed sinks)."""
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export
+
+
+def export_chrome_trace(spans: Sequence[Span],
+                        path: Union[str, pathlib.Path]) -> None:
+    """Write *spans* as a Chrome trace-event JSON file.
+
+    The output is the ``{"traceEvents": [...]}`` object format with one
+    complete event (``"ph": "X"``) per span, carrying the ``ts``/``dur``
+    (microseconds) and ``pid``/``tid`` fields Perfetto requires.  Lanes
+    are chosen for straggler-hunting: ``pid`` is the OS worker pid (one
+    track group per worker process) and ``tid`` the machine index, so a
+    skewed round shows up as one long bar among short ones.  Ledger
+    quantities travel in ``args``.
+
+    Timestamps are rebased to the earliest span so the timeline starts
+    at zero.
+    """
+    t0 = min((s.start for s in spans), default=0.0)
+    events = []
+    for s in spans:
+        label = s.name if s.machine < 0 else f"{s.name}[{s.machine}]"
+        if s.attempt > 1:
+            label += f" (attempt {s.attempt})"
+        events.append({
+            "name": label,
+            "cat": s.kind,
+            "ph": "X",
+            "ts": round((s.start - t0) * 1e6, 3),
+            "dur": round(s.duration * 1e6, 3),
+            "pid": s.worker,
+            "tid": s.machine if s.machine >= 0 else 0,
+            "args": {"work": s.work, "input_words": s.input_words,
+                     "output_words": s.output_words,
+                     "broadcast_words": s.broadcast_words,
+                     "attempt": s.attempt, "wasted": s.wasted,
+                     "fault": s.fault},
+        })
+    pathlib.Path(path).write_text(
+        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
+                   indent=1, sort_keys=True))

@@ -15,8 +15,11 @@ their dataclass defaults.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 import pathlib
+import tempfile
 from typing import Dict, List, Union
 
 from .accounting import RoundStats, RunStats
@@ -42,6 +45,7 @@ _FIELD_TYPES: Dict[str, type] = {
     "attempts": int,
     "retried_machines": int,
     "dropped_machines": int,
+    "failed_attempts": int,
     "wasted_work": int,
     "wasted_wall_seconds": float,
 }
@@ -91,24 +95,53 @@ def run_stats_from_dict(data: Dict[str, object]) -> RunStats:
     """Inverse of :func:`run_stats_to_dict` (summary is recomputed).
 
     Raises ``ValueError`` when a stored value does not fit its field's
-    declared type.  Fields absent from the stored dict (ledgers written
-    by older versions) keep their :class:`RoundStats` defaults.
+    declared type, and when a round carries fields this version does not
+    know (schema drift from a newer writer must be loud, not silently
+    dropped).  Fields absent from the stored dict (ledgers written by
+    older versions) keep their :class:`RoundStats` defaults.
     """
     rounds: List[RoundStats] = []
-    for rd in data["rounds"]:              # type: ignore[index]
+    unknown: Dict[str, List[int]] = {}
+    for ri, rd in enumerate(data["rounds"]):   # type: ignore[index]
+        for f in set(rd) - set(_ROUND_FIELDS):
+            unknown.setdefault(f, []).append(ri)
         r = RoundStats(name=_coerce("name", rd["name"]))
         for f in _ROUND_FIELDS[1:]:
             if f in rd:
                 setattr(r, f, _coerce(f, rd[f]))
         rounds.append(r)
+    if unknown:
+        detail = ", ".join(
+            f"{f!r} (round{'s' if len(ris) > 1 else ''} "
+            f"{', '.join(map(str, ris))})"
+            for f, ris in sorted(unknown.items()))
+        raise ValueError(
+            f"unknown round field(s) {detail}; was this ledger written "
+            "by a newer version?")
     return RunStats(rounds=rounds)
 
 
 def save_run_stats(stats: RunStats,
                    path: Union[str, pathlib.Path]) -> None:
-    """Write the ledger to a JSON file."""
-    pathlib.Path(path).write_text(
-        json.dumps(run_stats_to_dict(stats), indent=2, sort_keys=True))
+    """Write the ledger to a JSON file, atomically.
+
+    The document is written to a temporary file in the same directory
+    and moved into place with :func:`os.replace`, so an interrupted
+    benchmark never leaves a truncated, unparseable ledger — readers see
+    either the old file or the complete new one.
+    """
+    path = pathlib.Path(path)
+    payload = json.dumps(run_stats_to_dict(stats), indent=2, sort_keys=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
 
 
 def load_run_stats(path: Union[str, pathlib.Path]) -> RunStats:

@@ -1,0 +1,119 @@
+"""Unit tests for straggler analytics and their report rendering."""
+
+import pytest
+
+from repro.analysis import (format_skew, format_timeline, round_skew,
+                            timeline_rows, work_decomposition)
+from repro.analysis.skew import _percentile
+from repro.mpc import Span
+
+
+def _machine(name, machine, work, start=0.0, dur=0.1, worker=100,
+             attempt=1, wasted=False):
+    return Span(kind="machine", name=name, machine=machine,
+                attempt=attempt, worker=worker, start=start,
+                end=start + dur, work=work, wasted=wasted,
+                fault="crash" if wasted else "")
+
+
+def _round(name, start, end, work=0):
+    return Span(kind="round", name=name, start=start, end=end, work=work)
+
+
+#: Two rounds; r1 has a 4x straggler and one discarded attempt.
+SPANS = [
+    _machine("r1", 0, 100, start=1.0),
+    _machine("r1", 1, 100, start=1.0),
+    _machine("r1", 2, 400, start=1.0, dur=0.4),
+    _machine("r1", 2, 50, start=1.0, attempt=1, wasted=True),
+    _round("r1", 1.0, 1.5),
+    _machine("r2", 0, 200, start=1.5, worker=200),
+    _round("r2", 1.5, 1.7),
+]
+
+
+class TestPercentile:
+    def test_endpoints_and_interpolation(self):
+        assert _percentile([], 50) == 0.0
+        assert _percentile([7], 95) == 7.0
+        assert _percentile([1, 2, 3, 4], 0) == 1.0
+        assert _percentile([1, 2, 3, 4], 100) == 4.0
+        assert _percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+        assert _percentile([0, 10], 95) == pytest.approx(9.5)
+
+
+class TestRoundSkew:
+    def test_distribution_over_successful_attempts_only(self):
+        r1, r2 = round_skew(SPANS)
+        assert r1.name == "r1" and r1.machines == 3
+        assert r1.work_mean == pytest.approx(200.0)
+        assert r1.work_max == 400
+        assert r1.straggler_ratio == pytest.approx(2.0)
+        assert r1.wasted_spans == 1 and r1.wasted_work == 50
+        assert r2.machines == 1 and r2.straggler_ratio == pytest.approx(1.0)
+
+    def test_wall_percentiles_use_span_durations(self):
+        r1 = round_skew(SPANS)[0]
+        assert r1.wall_p50 == pytest.approx(0.1)
+        assert r1.wall_max == pytest.approx(0.4)
+
+    def test_empty_spans(self):
+        assert round_skew([]) == []
+
+    def test_all_wasted_round_is_balanced_by_convention(self):
+        spans = [_machine("r", 0, 50, wasted=True)]
+        (r,) = round_skew(spans)
+        assert r.machines == 0 and r.straggler_ratio == 1.0
+        assert r.wasted_spans == 1
+
+
+class TestTimelineRows:
+    def test_rebased_sorted_and_aggregated(self):
+        rows = timeline_rows(SPANS)
+        assert [r.name for r in rows] == ["r1", "r2"]
+        assert rows[0].t_start == pytest.approx(0.0)
+        assert rows[0].t_end == pytest.approx(0.5)
+        assert rows[1].t_start == pytest.approx(0.5)
+        assert rows[0].machines == 3 and rows[0].wasted_spans == 1
+        assert rows[0].workers == 1 and rows[1].workers == 1
+
+    def test_attempts_is_deepest_attempt(self):
+        spans = [_machine("r", 0, 10, attempt=1, wasted=True),
+                 _machine("r", 0, 10, attempt=3),
+                 _round("r", 0.0, 1.0)]
+        (row,) = timeline_rows(spans)
+        assert row.attempts == 3
+
+    def test_no_round_spans_no_rows(self):
+        assert timeline_rows([_machine("r", 0, 10)]) == []
+
+
+class TestWorkDecomposition:
+    def test_critical_path_sums_per_round_max(self):
+        d = work_decomposition(SPANS)
+        assert d["total_work"] == 800.0
+        assert d["critical_path_work"] == 600.0     # 400 (r1) + 200 (r2)
+        assert d["wasted_work"] == 50.0
+        assert d["parallelism"] == pytest.approx(800 / 600)
+        assert d["critical_share"] == pytest.approx(600 / 800)
+
+    def test_empty_spans_degenerate_values(self):
+        d = work_decomposition([])
+        assert d["total_work"] == 0.0
+        assert d["parallelism"] == 1.0 and d["critical_share"] == 1.0
+
+
+class TestRendering:
+    def test_format_skew_has_rows_and_footer(self):
+        out = format_skew(SPANS)
+        lines = out.splitlines()
+        assert lines[0].startswith("round")
+        assert any(line.startswith("r1") for line in lines)
+        assert "critical path 600" in lines[-1]
+        assert "wasted 50" in lines[-1]
+        assert "parallelism 1.33x" in lines[-1]
+
+    def test_format_timeline_has_round_rows(self):
+        out = format_timeline(SPANS)
+        assert "start_ms" in out.splitlines()[0]
+        assert any(line.startswith("r2") for line in out.splitlines())

@@ -1,5 +1,6 @@
 """The CI boundary check itself, run as a test: no driver or benchmark
-may call ``sim.run_round`` directly — rounds go through repro.mpc.plan."""
+may call ``sim.run_round`` directly — rounds go through repro.mpc.plan —
+and telemetry sinks are constructed only inside repro/mpc and the CLI."""
 
 import pathlib
 import subprocess
@@ -27,3 +28,44 @@ def test_checker_flags_a_violation(tmp_path):
         capture_output=True, text=True)
     assert proc.returncode == 1
     assert "rogue.py:2" in proc.stdout
+
+
+def _check(root):
+    return subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_api_boundary.py"),
+         str(root)],
+        capture_output=True, text=True)
+
+
+def test_checker_flags_sink_construction_outside_mpc(tmp_path):
+    bad = tmp_path / "benchmarks"
+    bad.mkdir(parents=True)
+    (bad / "rogue_bench.py").write_text(
+        "from repro.mpc import JsonlSink\n"
+        "sink = JsonlSink('trace.jsonl')\n")
+    proc = _check(tmp_path)
+    assert proc.returncode == 1
+    assert "rogue_bench.py:2" in proc.stdout
+    assert "sink" in proc.stdout
+    assert "Tracer.to_jsonl" in proc.stdout      # the fix hint
+
+
+def test_checker_allows_sink_construction_in_cli_and_mpc(tmp_path):
+    cli = tmp_path / "src" / "repro"
+    cli.mkdir(parents=True)
+    (cli / "cli.py").write_text("sink = InMemorySink()\n")
+    mpc = cli / "mpc"
+    mpc.mkdir()
+    (mpc / "telemetry.py").write_text("sink = JsonlSink('t')\n")
+    proc = _check(tmp_path)
+    assert proc.returncode == 0, proc.stdout
+
+
+def test_checker_ignores_commented_calls(tmp_path):
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "driver.py").write_text(
+        "# sim.run_round('r', id, [])  historical note\n"
+        "# JsonlSink('t')\n")
+    proc = _check(tmp_path)
+    assert proc.returncode == 0, proc.stdout

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -146,3 +148,92 @@ class TestChaosCommands:
     def test_bad_fault_plan_spec_errors(self):
         with pytest.raises(ValueError):
             main(["ulam", "--n", "128", "--fault-plan", "explode=1"])
+
+
+class TestTelemetryCommands:
+    def _reference_stats(self, n, budget, fault_plan=None, retries=3):
+        """The ledger of an identical run made through the API."""
+        from repro.params import UlamParams
+        from repro.ulam import mpc_ulam
+        from repro.workloads.permutations import planted_pair
+        s, t, _ = planted_pair(n, budget, seed=0, style="mixed")
+        sim = None
+        if fault_plan is not None:
+            from repro.mpc import (FaultPlan, ResilientSimulator,
+                                   RetryPolicy)
+            sim = ResilientSimulator(
+                memory_limit=UlamParams(n=n, x=0.4, eps=0.5).memory_limit,
+                fault_plan=FaultPlan.from_spec(fault_plan, seed=0),
+                retry_policy=RetryPolicy(max_attempts=retries))
+        return mpc_ulam(s, t, x=0.4, eps=0.5, seed=0, sim=sim).stats
+
+    def test_trace_flag_writes_spans_matching_ledger(self, tmp_path,
+                                                     capsys):
+        from repro.mpc import read_jsonl
+        path = tmp_path / "run.jsonl"
+        assert main(["ulam", "--n", "128", "--budget", "8",
+                     "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"span trace written to {path}" in out
+        spans = read_jsonl(path)
+        machine = [s for s in spans if s.kind == "machine"]
+        stats = self._reference_stats(128, 8)
+        assert len(machine) == stats.total_machine_invocations
+        assert [s.kind for s in spans].count("run") == 1
+        assert any(s.kind == "round" for s in spans)
+
+    def test_trace_flag_counts_retry_attempts(self, tmp_path, capsys):
+        # Acceptance criterion: the span count of a --trace run equals
+        # the ledger's total machine invocations *including retries*.
+        from repro.mpc import read_jsonl
+        path = tmp_path / "chaos.jsonl"
+        assert main(["ulam", "--n", "256", "--budget", "8",
+                     "--fault-plan", "crash=0.2", "--seed", "0",
+                     "--trace", str(path)]) == 0
+        capsys.readouterr()
+        machine = [s for s in read_jsonl(path) if s.kind == "machine"]
+        stats = self._reference_stats(256, 8, fault_plan="crash=0.2")
+        assert stats.failed_attempts > 0, "fault plan injected nothing"
+        assert len(machine) == stats.total_machine_attempts
+        assert sum(1 for s in machine if s.wasted) == stats.failed_attempts
+
+    def test_skew_flag_prints_reports(self, capsys):
+        assert main(["ulam", "--n", "128", "--budget", "8",
+                     "--skew"]) == 0
+        out = capsys.readouterr().out
+        assert "Run timeline" in out
+        assert "Straggler analytics" in out
+        assert "straggler" in out and "critical path" in out
+
+    def test_trace_subcommand_renders_saved_trace(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["ulam", "--n", "128", "--budget", "8",
+                     "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Run timeline" in out and "Straggler analytics" in out
+
+    def test_trace_subcommand_chrome_export(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        chrome = tmp_path / "run.chrome.json"
+        assert main(["ulam", "--n", "128", "--budget", "8",
+                     "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(path), "--chrome", str(chrome)]) == 0
+        assert "perfetto" in capsys.readouterr().out
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        for ev in doc["traceEvents"]:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(ev)
+
+    def test_trace_subcommand_rejects_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SystemExit, match="no spans"):
+            main(["trace", str(path)])
+
+    def test_no_telemetry_flags_no_trace_output(self, capsys):
+        assert main(["ulam", "--n", "128", "--budget", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "span trace" not in out and "Run timeline" not in out

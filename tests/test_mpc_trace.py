@@ -20,8 +20,10 @@ def _full_round():
     return RoundStats(name="r/one", machines=3, max_input_words=11,
                       max_output_words=12, total_input_words=31,
                       total_output_words=29, max_work=101, total_work=222,
-                      wall_seconds=0.125, attempts=4, retried_machines=2,
-                      dropped_machines=1, wasted_work=55,
+                      wall_seconds=0.125, broadcast_words=7,
+                      shuffle_words=17, shuffle_work=19, attempts=4,
+                      retried_machines=2, dropped_machines=1,
+                      failed_attempts=6, wasted_work=55,
                       wasted_wall_seconds=0.0625)
 
 
@@ -76,10 +78,66 @@ class TestCoercion:
     def test_legacy_ledger_without_recovery_fields_loads(self):
         data = run_stats_to_dict(RunStats(rounds=[_full_round()]))
         for f in ("attempts", "retried_machines", "dropped_machines",
-                  "wasted_work", "wasted_wall_seconds"):
+                  "failed_attempts", "wasted_work", "wasted_wall_seconds"):
             del data["rounds"][0][f]
         stats = run_stats_from_dict(data)
         r = stats.rounds[0]
         assert r.attempts == 1
         assert r.retried_machines == 0
+        assert r.failed_attempts == 0
         assert r.total_work == 222      # explicit fields still load
+
+
+class TestUnknownFields:
+    def test_unknown_round_field_raises(self):
+        data = run_stats_to_dict(RunStats(rounds=[_full_round()]))
+        data["rounds"][0]["gpu_seconds"] = 1.5
+        with pytest.raises(ValueError, match="gpu_seconds"):
+            run_stats_from_dict(data)
+
+    def test_error_names_every_unknown_field_and_round(self):
+        data = run_stats_to_dict(
+            RunStats(rounds=[_full_round(), _full_round()]))
+        data["rounds"][0]["alpha"] = 1
+        data["rounds"][1]["alpha"] = 2
+        data["rounds"][1]["beta"] = 3
+        with pytest.raises(ValueError) as err:
+            run_stats_from_dict(data)
+        message = str(err.value)
+        assert "alpha" in message and "beta" in message
+        assert "newer version" in message
+
+
+class TestAtomicSave:
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.mpc import load_run_stats, save_run_stats
+        path = tmp_path / "ledger.json"
+        save_run_stats(RunStats(rounds=[_full_round()]), path)
+        assert load_run_stats(path).rounds[0] == _full_round()
+
+    def test_no_temp_residue_after_save(self, tmp_path):
+        from repro.mpc import save_run_stats
+        save_run_stats(RunStats(rounds=[_full_round()]),
+                       tmp_path / "ledger.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["ledger.json"]
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        from repro.mpc import load_run_stats, save_run_stats
+        path = tmp_path / "ledger.json"
+        save_run_stats(RunStats(rounds=[_full_round()]), path)
+        small = RunStats()
+        save_run_stats(small, path)
+        assert load_run_stats(path).rounds == []
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_failed_save_leaves_old_file_and_no_residue(self, tmp_path):
+        from repro.mpc import load_run_stats, save_run_stats
+        path = tmp_path / "ledger.json"
+        save_run_stats(RunStats(rounds=[_full_round()]), path)
+        bad = RunStats()
+        bad.rounds = [object()]     # not a RoundStats: serialisation fails
+        with pytest.raises(Exception):
+            save_run_stats(bad, path)
+        # The original ledger is intact and no .tmp file leaked.
+        assert load_run_stats(path).rounds[0] == _full_round()
+        assert [p.name for p in tmp_path.iterdir()] == ["ledger.json"]

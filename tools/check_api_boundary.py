@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
-"""Enforce the round-pipeline API boundary (stdlib only, CI-friendly).
+"""Enforce the MPC-layer API boundaries (stdlib only, CI-friendly).
 
-Algorithm drivers must submit rounds through :mod:`repro.mpc.plan`
-(``Pipeline``/``RoundSpec``/``run_plan``) so that shuffle volume and
-broadcast charges are metered.  Direct ``sim.run_round(...)`` calls are
-the raw escape hatch and are allowed only *inside* the simulator
-package itself.
+Two rules:
+
+* Algorithm drivers must submit rounds through :mod:`repro.mpc.plan`
+  (``Pipeline``/``RoundSpec``/``run_plan``) so that shuffle volume and
+  broadcast charges are metered.  Direct ``sim.run_round(...)`` calls
+  are the raw escape hatch and are allowed only *inside* the simulator
+  package itself.
+* Telemetry sinks (``InMemorySink``/``JsonlSink``) may be constructed
+  only inside ``repro/mpc`` and ``repro/cli.py``.  Drivers and
+  benchmarks receive a ready :class:`~repro.mpc.telemetry.Tracer` (or
+  build one via ``Tracer.to_jsonl``/``Tracer.in_memory``) and stay
+  sink-agnostic, so the choice of trace format remains with the caller.
 
 Exit status 0 when clean; 1 with a per-offence listing otherwise.
 
@@ -23,10 +30,24 @@ import sys
 #: Directories scanned for offending calls (relative to the repo root).
 SCANNED = ("src", "benchmarks")
 
-#: The only package allowed to invoke the raw round primitive.
-ALLOWED = "src/repro/mpc/"
-
-CALL = re.compile(r"\.run_round\s*\(")
+#: rule name -> (pattern, allowed path prefixes, offence text, fix hint).
+RULES = {
+    "run_round": (
+        re.compile(r"\.run_round\s*\("),
+        ("src/repro/mpc/",),
+        "direct run_round call outside src/repro/mpc/",
+        "Route rounds through repro.mpc.plan (Pipeline/RoundSpec) "
+        "instead.",
+    ),
+    "sink": (
+        re.compile(r"\b(?:InMemorySink|JsonlSink)\s*\("),
+        ("src/repro/mpc/", "src/repro/cli.py"),
+        "direct telemetry sink construction outside src/repro/mpc/ "
+        "and src/repro/cli.py",
+        "Accept a repro.mpc.Tracer (or use Tracer.to_jsonl / "
+        "Tracer.in_memory) so drivers stay sink-agnostic.",
+    ),
+}
 
 
 def offences(root: pathlib.Path):
@@ -36,28 +57,32 @@ def offences(root: pathlib.Path):
             continue
         for path in sorted(base.rglob("*.py")):
             rel = path.relative_to(root).as_posix()
-            if rel.startswith(ALLOWED):
-                continue
             for lineno, line in enumerate(
                     path.read_text().splitlines(), start=1):
                 stripped = line.split("#", 1)[0]
-                if CALL.search(stripped):
-                    yield rel, lineno, line.strip()
+                for rule, (pattern, allowed, text, hint) in RULES.items():
+                    if rel.startswith(allowed):
+                        continue
+                    if pattern.search(stripped):
+                        yield rule, rel, lineno, line.strip(), text, hint
 
 
 def main(argv):
     root = pathlib.Path(argv[1]) if len(argv) > 1 else \
         pathlib.Path(__file__).resolve().parent.parent
     found = list(offences(root))
-    for rel, lineno, line in found:
-        print(f"{rel}:{lineno}: direct run_round call outside "
-              f"{ALLOWED}: {line}")
+    hints = []
+    for rule, rel, lineno, line, text, hint in found:
+        print(f"{rel}:{lineno}: {text}: {line}")
+        if hint not in hints:
+            hints.append(hint)
     if found:
-        print(f"\n{len(found)} boundary violation(s). Route rounds "
-              "through repro.mpc.plan (Pipeline/RoundSpec) instead.")
+        print(f"\n{len(found)} boundary violation(s).")
+        for hint in hints:
+            print(hint)
         return 1
-    print("API boundary clean: no direct run_round calls outside "
-          + ALLOWED)
+    print("API boundary clean: no direct run_round calls or sink "
+          "constructions outside their sanctioned modules")
     return 0
 
 
