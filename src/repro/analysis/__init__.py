@@ -1,5 +1,10 @@
-"""Analysis helpers: power-law fits, skew analytics, report rendering."""
+"""Analysis helpers: power-law fits, skew analytics, guarantee checks,
+report rendering."""
 
+from .guarantees import (GuaranteeCheck, GuaranteeReport,
+                         check_edit_guarantees, check_ulam_guarantees,
+                         format_guarantees, machine_budget,
+                         reference_distance)
 from .report import (format_communication, format_kv, format_recovery,
                      format_skew, format_table, format_timeline)
 from .scaling import PowerLawFit, fit_power_law
@@ -10,4 +15,7 @@ __all__ = ["format_communication", "format_kv", "format_recovery",
            "format_skew", "format_table", "format_timeline",
            "PowerLawFit", "fit_power_law",
            "RoundSkew", "TimelineRow", "round_skew", "timeline_rows",
-           "work_decomposition"]
+           "work_decomposition",
+           "GuaranteeCheck", "GuaranteeReport", "check_ulam_guarantees",
+           "check_edit_guarantees", "format_guarantees", "machine_budget",
+           "reference_distance"]

@@ -16,6 +16,11 @@ Commands
             (``--chrome`` additionally exports a Perfetto-loadable
             Chrome trace-event file).
 
+``history``  print the local run history (``.repro/history.jsonl``).
+``compare``  compare the latest matching history runs against a
+             committed baseline (``BENCH_table1.json``) and exit
+             non-zero on regression.
+
 The ``ulam`` and ``edit`` commands also accept ``--fault-plan`` /
 ``--retries`` / ``--on-exhausted`` / ``--realtime`` to exercise the
 algorithm under injected machine failures (see
@@ -24,6 +29,13 @@ PATH`` (stream a per-machine span trace as JSONL) and ``--skew``
 (print straggler analytics after the run) — see docs/ARCHITECTURE.md,
 "Telemetry & span model".
 
+``ulam`` / ``edit`` / ``chaos`` runs collect the metrics registry
+(:mod:`repro.metrics`), append a run record to the JSONL history
+(disable with ``--no-history``), print it as JSON with ``--json``, and
+check the paper's guarantees with ``--check-guarantees`` (non-zero exit
+on violation) — see docs/ARCHITECTURE.md, "Metrics vs spans vs
+registry".
+
 File inputs (``--s-file`` / ``--t-file``) are read as text; otherwise a
 seeded workload with a planted distance is generated.
 """
@@ -31,6 +43,7 @@ seeded workload with a planted distance is generated.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -86,6 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-round straggler analytics and the "
                             "run timeline after the run")
 
+    def registry_opts(p: argparse.ArgumentParser) -> None:
+        from .registry import DEFAULT_HISTORY_PATH
+        p.add_argument("--json", action="store_true",
+                       help="print the run record as JSON instead of "
+                            "the human-readable report")
+        p.add_argument("--check-guarantees", action="store_true",
+                       help="check the run against the paper's "
+                            "guarantees (approximation ratio, memory, "
+                            "machines, rounds); exit 1 on violation")
+        p.add_argument("--history", type=str,
+                       default=DEFAULT_HISTORY_PATH, metavar="PATH",
+                       help="append the run record to this JSONL "
+                            f"history (default {DEFAULT_HISTORY_PATH})")
+        p.add_argument("--no-history", action="store_true",
+                       help="do not append the run to the history")
+
     def chaos_opts(p: argparse.ArgumentParser) -> None:
         p.add_argument("--fault-plan", type=str, default=None,
                        metavar="SPEC",
@@ -104,10 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_ulam, default_x=0.4, default_eps=0.5)
     chaos_opts(p_ulam)
     telemetry_opts(p_ulam)
+    registry_opts(p_ulam)
     p_edit = sub.add_parser("edit", help="Theorem 9 (3+eps, <=4 rounds)")
     common(p_edit, default_x=0.25, default_eps=1.0)
     chaos_opts(p_edit)
     telemetry_opts(p_edit)
+    registry_opts(p_edit)
     common(sub.add_parser("lcs", help="LCS extension (2 rounds)"),
            default_x=0.25, default_eps=0.25)
     common(sub.add_parser("lis", help="LIS extension (2 rounds)"),
@@ -132,6 +163,30 @@ def build_parser() -> argparse.ArgumentParser:
     common(ch, default_x=None, default_eps=None)
     chaos_opts(ch)
     telemetry_opts(ch)
+    registry_opts(ch)
+
+    from .registry import DEFAULT_HISTORY_PATH
+    hi = sub.add_parser(
+        "history", help="print the local run history")
+    hi.add_argument("--history", type=str, default=DEFAULT_HISTORY_PATH,
+                    metavar="PATH", help="history file to read")
+    hi.add_argument("--limit", type=int, default=20,
+                    help="show at most the newest N records (default 20)")
+    hi.add_argument("--json", action="store_true",
+                    help="print raw JSON records instead of the table")
+
+    cp = sub.add_parser(
+        "compare", help="compare the latest matching history runs "
+                        "against a committed baseline; exit 1 on "
+                        "regression")
+    cp.add_argument("--baseline", type=str, default="BENCH_table1.json",
+                    metavar="PATH", help="baseline record file "
+                                         "(default BENCH_table1.json)")
+    cp.add_argument("--history", type=str, default=DEFAULT_HISTORY_PATH,
+                    metavar="PATH", help="history file to read")
+    cp.add_argument("--tolerance", type=float, default=None,
+                    help="relative regression tolerance on gated "
+                         "metrics (default 0.15)")
 
     tr = sub.add_parser(
         "trace", help="render timeline and skew reports from a saved "
@@ -241,6 +296,11 @@ def _print_result(title: str, answer: int, exact: Optional[int],
                          ("1.0000" if answer == 0 else "inf"))
     data.update(extra or {})
     data.update(stats.summary())
+    # The metrics delta is a nested dict; the human report shows only
+    # its cardinality (the full block lives in the run record / --json).
+    metrics = data.pop("metrics", None)
+    if metrics:
+        data["metrics_collected"] = len(metrics)
     print(format_kv(title, data))
     if show_comm:
         from .analysis import format_communication
@@ -248,6 +308,69 @@ def _print_result(title: str, answer: int, exact: Optional[int],
         print("Communication ledger")
         print("--------------------")
         print(format_communication(stats))
+
+
+def _enable_metrics() -> None:
+    """Turn on metrics collection for this run.
+
+    The registry is process-cumulative, so it is reset first: the run
+    record's metrics delta then equals the run's absolute values even
+    when several commands share one process (tests, notebooks), and
+    identical invocations produce identical records.
+    """
+    from .metrics import enable, get_registry
+    get_registry().reset()
+    enable()
+
+
+def _effective_budget(args) -> Optional[int]:
+    """The planted-distance budget actually used (None for file inputs)."""
+    if args.s_file is not None:
+        return None
+    return args.budget if args.budget is not None else args.n // 16
+
+
+def _finish_run(args, command: str, res, s, t,
+                exact: Optional[int],
+                extra: Optional[dict] = None) -> int:
+    """Shared tail of the ``ulam``/``edit``/``chaos`` subcommands.
+
+    Runs the guarantee checks (``--check-guarantees``), assembles the
+    run record, appends it to the history (unless ``--no-history``) and
+    prints it (``--json``) or the guarantee verdict (human mode).
+    Returns the process exit code (1 on guarantee violation).
+    """
+    from .registry import append_record, make_record
+    report = None
+    if args.check_guarantees:
+        from .analysis import (check_edit_guarantees,
+                               check_ulam_guarantees, format_guarantees)
+        algo = getattr(args, "algo", command)
+        checker = check_ulam_guarantees if algo == "ulam" \
+            else check_edit_guarantees
+        report = checker(s, t, res)
+    summary = {"distance": res.distance}
+    if exact is not None:
+        summary["exact"] = exact
+        if exact:
+            summary["ratio"] = round(res.distance / exact, 4)
+        elif res.distance == 0:
+            summary["ratio"] = 1.0
+    summary.update(res.stats.summary())
+    params = {"n": len(s), "x": args.x, "eps": args.eps,
+              "seed": args.seed, "budget": _effective_budget(args)}
+    record = make_record(
+        command, params, summary,
+        guarantees=report.to_dict() if report is not None else None,
+        extra=extra)
+    if not args.no_history:
+        append_record(args.history, record)
+    if args.json:
+        print(json.dumps(record, sort_keys=True))
+    elif report is not None:
+        print()
+        print(format_guarantees(report))
+    return 0 if report is None or report.passed else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -265,6 +388,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "ulam":
+        _enable_metrics()
         s, t = _load_or_generate(args, "perm")
         sim = _build_sim(
             args, UlamParams(n=len(s), x=args.x, eps=args.eps).memory_limit)
@@ -272,13 +396,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                           lambda: mpc_ulam(s, t, x=args.x, eps=args.eps,
                                            seed=args.seed, sim=sim))
         exact = ulam_distance(s, t) if args.exact else None
-        _print_result("MPC Ulam distance (Theorem 4)", res.distance,
-                      exact, res.stats, {"guarantee": f"1+{args.eps}"},
-                      show_comm=args.comm)
+        if not args.json:
+            _print_result("MPC Ulam distance (Theorem 4)", res.distance,
+                          exact, res.stats,
+                          {"guarantee": f"1+{args.eps}"},
+                          show_comm=args.comm)
+        code = _finish_run(args, "ulam", res, s, t, exact)
         _finish_telemetry(sim, args)
-        return 0
+        return code
 
     if args.command == "edit":
+        _enable_metrics()
         s, t = _load_or_generate(args, "str")
         sim = _build_sim(
             args, EditParams(n=max(len(s), 2), x=args.x,
@@ -289,17 +417,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                                                     seed=args.seed,
                                                     sim=sim))
         exact = levenshtein(s, t) if args.exact else None
-        _print_result("MPC edit distance (Theorem 9)", res.distance,
-                      exact, res.stats,
-                      {"guarantee": f"3+{args.eps}",
-                       "regime": res.regime,
-                       "accepted_guess": res.accepted_guess},
-                      show_comm=args.comm)
+        if not args.json:
+            _print_result("MPC edit distance (Theorem 9)", res.distance,
+                          exact, res.stats,
+                          {"guarantee": f"3+{args.eps}",
+                           "regime": res.regime,
+                           "accepted_guess": res.accepted_guess},
+                          show_comm=args.comm)
+        code = _finish_run(args, "edit", res, s, t, exact,
+                           extra={"regime": res.regime,
+                                  "accepted_guess": res.accepted_guess})
         _finish_telemetry(sim, args)
-        return 0
+        return code
 
     if args.command == "chaos":
         from .analysis import format_recovery
+        _enable_metrics()
         if args.fault_plan is None:
             args.fault_plan = "crash=0.1,straggle=0.1x4"
         # Match the plain `ulam` / `edit` subcommands' defaults unless
@@ -331,16 +464,76 @@ def main(argv: Optional[List[str]] = None) -> int:
                                                         sim=sim))
             exact = levenshtein(s, t) if args.exact else None
             title = "Chaos run: MPC edit distance (Theorem 9)"
-        _print_result(title, res.distance, exact, res.stats,
-                      {"fault_plan": sim.fault_plan.to_spec(),
-                       "retries": args.retries,
-                       "on_exhausted": args.on_exhausted})
-        print()
-        print("Recovery ledger")
-        print("---------------")
-        print(format_recovery(res.stats))
+        if not args.json:
+            _print_result(title, res.distance, exact, res.stats,
+                          {"fault_plan": sim.fault_plan.to_spec(),
+                           "retries": args.retries,
+                           "on_exhausted": args.on_exhausted})
+            print()
+            print("Recovery ledger")
+            print("---------------")
+            print(format_recovery(res.stats))
+        code = _finish_run(args, "chaos", res, s, t, exact,
+                           extra={"algo": args.algo,
+                                  "fault_plan": sim.fault_plan.to_spec(),
+                                  "retries": args.retries,
+                                  "on_exhausted": args.on_exhausted})
         _finish_telemetry(sim, args)
+        return code
+
+    if args.command == "history":
+        from .registry import format_record, read_history
+        records = read_history(args.history)
+        if not records:
+            print(f"no run history at {args.history}")
+            return 0
+        shown = records[-args.limit:] if args.limit else records
+        if args.json:
+            for record in shown:
+                print(json.dumps(record, sort_keys=True))
+        else:
+            print(f"{len(records)} run(s) in {args.history} "
+                  f"(showing {len(shown)}):")
+            for record in shown:
+                print(format_record(record))
         return 0
+
+    if args.command == "compare":
+        from .registry import (REGRESSION_TOLERANCE, compare_records,
+                               format_comparison, load_baseline,
+                               read_history, record_key)
+        tolerance = args.tolerance if args.tolerance is not None \
+            else REGRESSION_TOLERANCE
+        baseline = load_baseline(args.baseline)
+        if not baseline:
+            raise SystemExit(f"{args.baseline}: no baseline records")
+        history = read_history(args.history)
+        any_regression = False
+        any_match = False
+        for base in baseline:
+            key = record_key(base)
+            matches = [r for r in history if record_key(r) == key]
+            label = (f"{base.get('command')} n={base['params'].get('n')} "
+                     f"x={base['params'].get('x')} "
+                     f"eps={base['params'].get('eps')} "
+                     f"seed={base['params'].get('seed')}")
+            if not matches:
+                print(f"{label}: no matching run in {args.history}")
+                continue
+            any_match = True
+            comparison = compare_records(base, matches[-1],
+                                         tolerance=tolerance)
+            regressed = any(row.get("regressed")
+                            for row in comparison.values())
+            any_regression = any_regression or regressed
+            print(f"{label}: "
+                  + ("REGRESSED" if regressed else "ok"))
+            print(format_comparison(comparison))
+        if not any_match:
+            raise SystemExit(
+                "no history run matches any baseline record; run the "
+                "baseline configs first (see BENCH_table1.json)")
+        return 1 if any_regression else 0
 
     if args.command == "trace":
         from .analysis import format_skew, format_timeline

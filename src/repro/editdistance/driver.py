@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..metrics import MetricsRegistry, get_registry
 from ..mpc.accounting import RunStats
 from ..mpc.simulator import MPCSimulator
 from ..params import EditParams
@@ -96,12 +97,25 @@ def mpc_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
     """
     S, T = as_array(s), as_array(t)
     n = len(S)
+
+    # Per-run metrics view (same pattern as mpc_ulam): delta between a
+    # start mark and the final registry snapshot, attached on every
+    # return path.
+    reg = get_registry()
+    mark = reg.mark() if reg.enabled else None
+
+    def attach_metrics(stats: RunStats) -> RunStats:
+        if mark is not None:
+            stats.metrics = MetricsRegistry.delta(mark, reg.snapshot())
+        return stats
+
     if n <= 1:
         # Degenerate inputs: solved directly (no rounds).
         from ..strings.edit_distance import levenshtein
         d = levenshtein(S, T)
         params = EditParams(n=2, x=min(x, 5 / 17), eps=eps)
-        return EditResult(distance=d, n=n, params=params, stats=RunStats(),
+        return EditResult(distance=d, n=n, params=params,
+                          stats=attach_metrics(RunStats()),
                           accepted_guess=None, regime="trivial")
 
     config = config or EditConfig.default()
@@ -134,7 +148,7 @@ def mpc_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
     if equal:
         sim.stats.rounds = prefix_rounds + sim.stats.rounds
         return EditResult(distance=0, n=n, params=params,
-                          stats=sim.stats.snapshot(),
+                          stats=attach_metrics(sim.stats.snapshot()),
                           accepted_guess=0, regime="equal")
 
     accept = config.accept_slack if config.accept_slack is not None \
@@ -176,7 +190,10 @@ def mpc_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
 
     assert best is not None  # guess schedule always reaches 2n
     sim.stats.rounds = prefix_rounds + sim.stats.rounds
+    if mark is not None:
+        reg.gauge("edit.phase2_top_k").set(config.phase2_top_k)
+        reg.gauge("edit.n_guesses_run").set(len(per_guess))
     return EditResult(distance=int(best), n=n, params=params,
-                      stats=sim.stats.snapshot(),
+                      stats=attach_metrics(sim.stats.snapshot()),
                       accepted_guess=accepted_guess,
                       regime=regime_used, per_guess=per_guess)

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..metrics import get_registry
 from ..mpc.plan import Pipeline, RoundSpec
 from ..mpc.simulator import MPCSimulator
 from ..params import EditParams
@@ -44,6 +45,16 @@ from .graph import NodeId, RepDistances, build_candidate_nodes, node_string
 __all__ = ["run_rep_distance_machine", "run_pair_distance_machine",
            "run_block_vs_groups_machine", "large_distance_upper_bound",
            "group_candidates_by_start"]
+
+_M_REPS = get_registry().counter("edit.large.representatives")
+_M_SPARSE_BLOCKS = get_registry().counter("edit.large.sparse_blocks")
+_M_EXT_PAIRS = get_registry().counter("edit.large.ext_pairs")
+_M_TUPLES_DENSE = get_registry().counter("edit.candidate_tuples",
+                                         regime="large", phase="dense")
+_M_TUPLES_SPARSE = get_registry().counter("edit.candidate_tuples",
+                                          regime="large", phase="sparse")
+_M_TUPLES_EXT = get_registry().counter("edit.candidate_tuples",
+                                       regime="large", phase="extension")
 
 #: ``(start, [end, ...])`` — all candidate nodes sharing one start.
 CsGroup = Tuple[int, List[int]]
@@ -245,6 +256,8 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
         for (b, u), w in repdist.triangle_edges(block_nodes,
                                                 cs_nodes).items()]
     edge_tuples = _cap_per_block(edge_tuples, config.phase2_top_k)
+    _M_REPS.inc(len(rep_ids))
+    _M_TUPLES_DENSE.inc(len(edge_tuples))
 
     # ---- round 2: sampled sparse blocks --------------------------------
     exponent = (params.y_large - params.y_prime)  # = 0.4x
@@ -301,6 +314,8 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
         partitioner=lambda _: payloads,
         collector=collect_direct,
         allow_empty=True))
+    _M_SPARSE_BLOCKS.inc(len(sampled))
+    _M_TUPLES_SPARSE.inc(len(direct_tuples))
 
     # ---- round 3: extension of sparse pairs ----------------------------
     larger_B = params.larger_block_size
@@ -361,6 +376,8 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
         broadcast=solver_blob,
         collector=collect_ext,
         allow_empty=True))
+    _M_EXT_PAIRS.inc(len(ext_pairs))
+    _M_TUPLES_EXT.inc(len(ext_tuples))
 
     # ---- round 4: combining DP ------------------------------------------
     all_tuples = _cap_per_block(edge_tuples + direct_tuples + ext_tuples,

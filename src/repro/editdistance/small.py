@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..metrics import get_registry
 from ..mpc.plan import Pipeline, RoundSpec
 from ..mpc.simulator import MPCSimulator
 from ..params import EditParams
@@ -27,6 +28,9 @@ from .combine import EditTuple, run_edit_combine_machine
 from .config import EditConfig
 
 __all__ = ["run_small_block_machine", "small_distance_upper_bound"]
+
+_M_WINDOWS = get_registry().counter("edit.candidate_windows", regime="small")
+_M_TUPLES = get_registry().counter("edit.candidate_tuples", regime="small")
 
 
 def run_small_block_machine(payload: Dict[str, object]) -> List[EditTuple]:
@@ -69,14 +73,16 @@ def run_small_block_machine(payload: Dict[str, object]) -> List[EditTuple]:
             seg = text[sp - text_off:max_en - text_off]
             if len(seg) != max_en - sp:  # pragma: no cover - invariant
                 raise AssertionError("machine feed does not cover candidate")
+            _M_WINDOWS.inc(len(wins))
             row = levenshtein_last_row(block, seg)
             for (st, en) in wins:
                 tuples.append((lo, hi, st, en, int(row[en - st])))
     else:
         inner = make_inner(inner_kind, float(payload["eps_inner"]))
         for sp in starts:
-            for (st, en) in candidate_windows(sp, B, offsets, eps_prime,
-                                              n_t):
+            wins = candidate_windows(sp, B, offsets, eps_prime, n_t)
+            _M_WINDOWS.inc(len(wins))
+            for (st, en) in wins:
                 seg = text[st - text_off:en - text_off]
                 if len(seg) != en - st:  # pragma: no cover - invariant
                     raise AssertionError(
@@ -85,6 +91,7 @@ def run_small_block_machine(payload: Dict[str, object]) -> List[EditTuple]:
     if top_k is not None and len(tuples) > top_k:
         tuples.sort(key=lambda t: (t[4], t[3] - t[2]))
         tuples = tuples[:top_k]
+    _M_TUPLES.inc(len(tuples))
     return tuples
 
 

@@ -26,7 +26,9 @@ from __future__ import annotations
 import copy
 import threading
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
+
+from ..metrics import merge_snapshots
 
 __all__ = ["WorkMeter", "add_work", "RoundStats", "RunStats"]
 
@@ -146,9 +148,18 @@ class RoundStats:
 
 @dataclass
 class RunStats:
-    """Aggregated statistics of a full MPC execution (several rounds)."""
+    """Aggregated statistics of a full MPC execution (several rounds).
+
+    ``metrics`` is the run's metrics-registry delta (see
+    :mod:`repro.metrics`): what the instrumented kernels and phases did
+    during this run, keyed ``name{label=value}``.  Empty when metrics
+    collection was disabled — the default — so legacy ledgers are
+    unchanged.  Drivers attach it after the final round; it is *not*
+    per-round data.
+    """
 
     rounds: List[RoundStats] = field(default_factory=list)
+    metrics: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def n_rounds(self) -> int:
@@ -266,7 +277,8 @@ class RunStats:
         (or the driver keeps absorbing sub-runs), silently mutating
         ledgers already returned to the caller.
         """
-        return RunStats(rounds=[copy.deepcopy(r) for r in self.rounds])
+        return RunStats(rounds=[copy.deepcopy(r) for r in self.rounds],
+                        metrics=copy.deepcopy(self.metrics))
 
     def merge(self, other: "RunStats") -> "RunStats":
         """Concatenate two runs (used when sub-algorithms run in parallel).
@@ -275,7 +287,8 @@ class RunStats:
         executions shared the same barrier schedule: machine counts and
         work add up, memory maxima combine by ``max``.
         """
-        merged = RunStats()
+        merged = RunStats(
+            metrics=merge_snapshots(self.metrics, other.metrics))
         longer, shorter = (self.rounds, other.rounds)
         if len(shorter) > len(longer):
             longer, shorter = shorter, longer
@@ -366,4 +379,6 @@ class RunStats:
                 "failed_attempts": self.failed_attempts,
                 "wasted_work": self.wasted_work,
             })
+        if self.metrics:
+            out["metrics"] = copy.deepcopy(self.metrics)
         return out

@@ -60,6 +60,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from ..metrics import get_registry
 from .accounting import WorkMeter
 from .simulator import MPCSimulator
 from .sizeof import sizeof
@@ -140,6 +141,12 @@ class Pipeline:
         """
         payloads = list(spec.partitioner(state))
         broadcast = spec.resolve_broadcast(state)
+        # Per-round labels would defeat the registry's cached-handle fast
+        # path, so the lookup itself is gated on ``reg.enabled``.
+        reg = get_registry()
+        if reg.enabled and broadcast is not None:
+            reg.counter("mpc.broadcast_words",
+                        round=spec.name).inc(sizeof(broadcast))
         outputs = self.sim.run_round(spec.name, spec.fn, payloads,
                                      allow_empty=spec.allow_empty,
                                      broadcast=broadcast)
@@ -156,6 +163,11 @@ class Pipeline:
         shuffle_words = sizeof(next_state)
         round_stats.shuffle_work += meter.total
         round_stats.shuffle_words += shuffle_words
+        if reg.enabled:
+            reg.counter("mpc.shuffle_words",
+                        round=spec.name).inc(shuffle_words)
+            reg.counter("mpc.shuffle_work",
+                        round=spec.name).inc(meter.total)
         tracer = self.sim.tracer
         if tracer is not None:
             # Collector span: ``work`` is the shuffle work metered inside

@@ -164,22 +164,29 @@ class JsonlSink(Sink):
 def read_jsonl(path: Union[str, pathlib.Path]) -> List[Span]:
     """Load the spans of a :class:`JsonlSink` trace file.
 
-    A truncated *final* line (crash mid-write) is skipped; a malformed
-    line anywhere else raises ``ValueError``.
+    A truncated *final* line (crash mid-append) never poisons the trace:
+    if it still parses as a complete span (only the newline was lost) it
+    is recovered, otherwise it is dropped and the intact prefix is
+    returned.  A malformed line anywhere *else* raises ``ValueError`` —
+    the file is append-only, so mid-file damage means something other
+    than a :class:`JsonlSink` wrote it.
     """
     spans: List[Span] = []
     lines = pathlib.Path(path).read_text().split("\n")
-    # A complete file ends with "\n", so the last split element is "".
-    ends_complete = lines and lines[-1] == ""
-    body = lines[:-1] if lines else []
+    # A complete file ends with "\n", so the last split element is "";
+    # anything else there is the torn tail of an interrupted append.
+    body, tail = lines[:-1], lines[-1]
     for lineno, line in enumerate(body, start=1):
         try:
             spans.append(span_from_dict(json.loads(line)))
-        except (json.JSONDecodeError, TypeError):
-            if lineno == len(body) and not ends_complete:
-                break               # crash-truncated tail: keep the prefix
+        except (ValueError, TypeError, KeyError):
             raise ValueError(
                 f"{path}:{lineno}: malformed span line {line!r}")
+    if tail:
+        try:
+            spans.append(span_from_dict(json.loads(tail)))
+        except (ValueError, TypeError, KeyError):
+            pass                    # crash-truncated tail: keep the prefix
     return spans
 
 

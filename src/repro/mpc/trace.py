@@ -83,12 +83,20 @@ def _coerce(field: str, value: object) -> object:
 
 
 def run_stats_to_dict(stats: RunStats) -> Dict[str, object]:
-    """Full ledger (per-round detail + the summary block) as plain data."""
-    return {
+    """Full ledger (per-round detail + the summary block) as plain data.
+
+    The run-level metrics snapshot (when the run carried one) is stored
+    as its own top-level key — it is not per-round data, and keeping it
+    out of ``rounds`` preserves the strict round schema.
+    """
+    out: Dict[str, object] = {
         "summary": stats.summary(),
         "rounds": [{f: getattr(r, f) for f in _ROUND_FIELDS}
                    for r in stats.rounds],
     }
+    if stats.metrics:
+        out["metrics"] = stats.metrics
+    return out
 
 
 def run_stats_from_dict(data: Dict[str, object]) -> RunStats:
@@ -118,7 +126,11 @@ def run_stats_from_dict(data: Dict[str, object]) -> RunStats:
         raise ValueError(
             f"unknown round field(s) {detail}; was this ledger written "
             "by a newer version?")
-    return RunStats(rounds=rounds)
+    metrics = data.get("metrics", {})
+    if not isinstance(metrics, dict):
+        raise ValueError(
+            f"'metrics' must be a snapshot dict, got {metrics!r}")
+    return RunStats(rounds=rounds, metrics=dict(metrics))
 
 
 def save_run_stats(stats: RunStats,

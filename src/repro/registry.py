@@ -1,0 +1,242 @@
+"""Append-only run history: every CLI run leaves a JSONL record.
+
+Telemetry traces answer "where did *this* run's time go"; the registry
+answers "how does this run compare to every run before it".  Each record
+is one JSON object per line — append-only, so concurrent runs and
+crashed runs can never corrupt earlier history — carrying the run's
+identity (command, parameters, seed, git SHA, timestamp), its outcome
+(distance, approximation ratio when known), the resource ledger
+(:meth:`~repro.mpc.accounting.RunStats.summary`, which embeds the
+metrics-registry delta when metrics were enabled) and the guarantee
+verdict (:class:`~repro.analysis.guarantees.GuaranteeReport`).
+
+Two consumers:
+
+* the ``repro history`` / ``repro compare`` CLI subcommands, for humans;
+* ``tools/check_regression.py``, which replays the committed baseline
+  (``BENCH_table1.json``) and fails CI when a fresh run regresses by
+  more than :data:`REGRESSION_TOLERANCE` on any gated metric or
+  violates a guarantee.
+
+Reading is tolerant of a truncated final line (a run killed mid-append),
+mirroring :func:`repro.mpc.telemetry.read_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SCHEMA_VERSION", "DEFAULT_HISTORY_PATH", "GATED_METRICS",
+           "REGRESSION_TOLERANCE", "git_sha", "utc_timestamp",
+           "make_record", "append_record", "read_history", "record_key",
+           "load_baseline", "match_baseline", "compare_records",
+           "format_record", "format_comparison"]
+
+SCHEMA_VERSION = 1
+
+#: Default history location, relative to the working directory.
+DEFAULT_HISTORY_PATH = os.path.join(".repro", "history.jsonl")
+
+#: Summary fields gated by :func:`compare_records` (higher = worse).
+GATED_METRICS = ("total_work", "parallel_work",
+                 "total_communication_words", "max_memory_words")
+
+#: Relative headroom a fresh run gets over the baseline before the
+#: comparison counts as a regression.  Abstract work and word counts are
+#: deterministic for a fixed seed, so 15 % absorbs parameter-derived
+#: rounding differences without masking a real asymptotic change.
+REGRESSION_TOLERANCE = 0.15
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """Current commit SHA, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def utc_timestamp() -> str:
+    """ISO-8601 UTC timestamp with second precision."""
+    import datetime
+    return datetime.datetime.now(datetime.timezone.utc) \
+        .strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+# ---------------------------------------------------------------------------
+# Record construction / IO
+
+def make_record(command: str, params: Dict[str, object],
+                summary: Dict[str, object],
+                guarantees: Optional[dict] = None,
+                extra: Optional[Dict[str, object]] = None) -> dict:
+    """Assemble one run record (plain JSON-serialisable dict).
+
+    ``params`` is the run's identity (n, x, eps, seed, budget, ...);
+    ``summary`` the result summary — distance plus the RunStats ledger
+    (and its ``metrics`` block when metrics collection was on).
+    """
+    record = {
+        "schema": SCHEMA_VERSION,
+        "command": command,
+        "timestamp": utc_timestamp(),
+        "git_sha": git_sha(),
+        "params": dict(params),
+        "summary": dict(summary),
+    }
+    if guarantees is not None:
+        record["guarantees"] = guarantees
+    if extra:
+        record.update(extra)
+    return record
+
+
+def append_record(path: str, record: dict) -> None:
+    """Append one record to the JSONL history, creating parents."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_history(path: str) -> List[dict]:
+    """All parseable records of a JSONL history, oldest first.
+
+    A truncated final line (interrupted append) is ignored; a malformed
+    line elsewhere raises — the file is append-only, so mid-file damage
+    means something other than this module wrote it.
+    """
+    records: List[dict] = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = fh.read()
+    lines = raw.split("\n")
+    ends_complete = raw.endswith("\n")
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1 and not ends_complete:
+                break  # torn final append
+            raise
+        if not isinstance(obj, dict):
+            raise ValueError(f"{path}:{i + 1}: record is not an object")
+        records.append(obj)
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Baseline matching and comparison
+
+#: Params that identify "the same experiment" across commits.
+_KEY_PARAMS = ("n", "x", "eps", "seed", "budget")
+
+
+def record_key(record: dict) -> Tuple:
+    """Identity key: same command + same key params = comparable runs."""
+    params = record.get("params", {})
+    return (record.get("command"),) + tuple(
+        params.get(k) for k in _KEY_PARAMS)
+
+
+def load_baseline(path: str) -> List[dict]:
+    """Load a committed baseline file (JSON list or JSONL both accepted)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        data = json.loads(text)
+        if not isinstance(data, list):
+            raise ValueError(f"{path}: baseline must be a JSON list")
+        return data
+    return read_history(path)
+
+
+def match_baseline(record: dict, baseline: List[dict]) -> Optional[dict]:
+    """The baseline record with the same identity key, if any."""
+    key = record_key(record)
+    for cand in baseline:
+        if record_key(cand) == key:
+            return cand
+    return None
+
+
+def compare_records(baseline: dict, fresh: dict,
+                    tolerance: float = REGRESSION_TOLERANCE
+                    ) -> Dict[str, dict]:
+    """Per-metric comparison of two records with the same identity.
+
+    Returns ``{metric: {baseline, fresh, change, regressed}}`` for every
+    gated metric present in both summaries, plus a ``distance`` row
+    (informational: distances may legitimately differ across algorithm
+    changes, so it never sets ``regressed``) and a ``guarantees`` row
+    when the fresh record carries a verdict.
+    """
+    out: Dict[str, dict] = {}
+    b_sum = baseline.get("summary", {})
+    f_sum = fresh.get("summary", {})
+    for metric in GATED_METRICS:
+        b = b_sum.get(metric)
+        f = f_sum.get(metric)
+        if b is None or f is None:
+            continue
+        change = (f - b) / b if b else (0.0 if not f else float("inf"))
+        out[metric] = {"baseline": b, "fresh": f,
+                       "change": round(change, 4),
+                       "regressed": change > tolerance}
+    if "distance" in b_sum or "distance" in f_sum:
+        out["distance"] = {"baseline": b_sum.get("distance"),
+                           "fresh": f_sum.get("distance"),
+                           "change": None, "regressed": False}
+    g = fresh.get("guarantees")
+    if g is not None:
+        out["guarantees"] = {"baseline": None, "fresh": g.get("passed"),
+                             "change": None,
+                             "regressed": not g.get("passed", False)}
+    return out
+
+
+def format_record(record: dict) -> str:
+    """One-line rendering for ``repro history``."""
+    params = record.get("params", {})
+    summary = record.get("summary", {})
+    sha = (record.get("git_sha") or "-")[:10]
+    parts = [f"{record.get('timestamp', '-'):<20}",
+             f"{record.get('command', '-'):<6}",
+             f"n={params.get('n', '-'):<7}",
+             f"x={params.get('x', '-'):<5}",
+             f"eps={params.get('eps', '-'):<5}",
+             f"seed={params.get('seed', '-'):<3}",
+             f"d={summary.get('distance', '-'):<7}",
+             f"work={summary.get('total_work', '-'):<12}",
+             f"sha={sha}"]
+    g = record.get("guarantees")
+    if g is not None:
+        parts.append("guarantees=" + ("PASS" if g.get("passed") else "FAIL"))
+    return " ".join(str(p) for p in parts)
+
+
+def format_comparison(comparison: Dict[str, dict]) -> str:
+    """Readable table for ``repro compare`` / the regression gate."""
+    lines = [f"  {'metric':<28} {'baseline':>14} {'fresh':>14} "
+             f"{'change':>9}  verdict"]
+    for metric, row in comparison.items():
+        change = row.get("change")
+        change_s = "-" if change is None else f"{change:+.1%}"
+        verdict = "REGRESSED" if row.get("regressed") else "ok"
+        lines.append(f"  {metric:<28} {str(row['baseline']):>14} "
+                     f"{str(row['fresh']):>14} {change_s:>9}  {verdict}")
+    return "\n".join(lines)

@@ -18,10 +18,14 @@ from typing import Optional
 
 import numpy as np
 
+from ..metrics import get_registry
 from ..mpc.accounting import add_work
 from .types import INF, StringLike, as_array
 
 __all__ = ["levenshtein_banded", "levenshtein_doubling", "within_threshold"]
+
+_M_CELLS = get_registry().counter("strings.dp_cells", kernel="banded")
+_M_CALLS = get_registry().counter("strings.kernel_calls", kernel="banded")
 
 
 def levenshtein_banded(a: StringLike, b: StringLike,
@@ -44,6 +48,8 @@ def levenshtein_banded(a: StringLike, b: StringLike,
         return m if m <= k else None
     # Row i covers columns j in [i-k, i+k] clipped to [0, n].
     add_work((2 * k + 1) * m + n + 1)
+    _M_CELLS.inc((2 * k + 1) * m + n + 1)
+    _M_CALLS.inc()
     prev = np.full(n + 1, INF, dtype=np.int64)
     hi0 = min(k, n)
     prev[:hi0 + 1] = np.arange(hi0 + 1)

@@ -16,11 +16,22 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..metrics import get_registry
 from ..mpc.accounting import add_work
 from .types import StringLike, as_array
 
 __all__ = ["levenshtein", "levenshtein_last_row", "levenshtein_script",
            "hamming"]
+
+# Metric handles are module-level so the hot path pays one guarded
+# method call per kernel invocation (not per DP cell); see repro.metrics.
+_M_CELLS_ROW = get_registry().counter("strings.dp_cells", kernel="wf_row")
+_M_CALLS_ROW = get_registry().counter("strings.kernel_calls",
+                                      kernel="wf_row")
+_M_CELLS_SCRIPT = get_registry().counter("strings.dp_cells",
+                                         kernel="script")
+_M_CELLS_HAMMING = get_registry().counter("strings.dp_cells",
+                                          kernel="hamming")
 
 #: pattern length above which the bit-parallel backend takes over (the
 #: NumPy row loop iterates over the pattern; Myers iterates over the
@@ -37,6 +48,8 @@ def levenshtein_last_row(a: StringLike, b: StringLike) -> np.ndarray:
     A, B = as_array(a), as_array(b)
     m, n = len(A), len(B)
     add_work(max(m, 1) * max(n, 1))
+    _M_CELLS_ROW.inc(max(m, 1) * max(n, 1))
+    _M_CALLS_ROW.inc()
     row = np.arange(n + 1, dtype=np.int64)
     if m == 0:
         return row
@@ -78,6 +91,7 @@ def hamming(a: StringLike, b: StringLike) -> int:
     if len(A) != len(B):
         raise ValueError("hamming distance requires equal-length strings")
     add_work(len(A))
+    _M_CELLS_HAMMING.inc(len(A))
     return int(np.count_nonzero(A != B))
 
 
@@ -93,6 +107,7 @@ def levenshtein_script(a: StringLike, b: StringLike
     A, B = as_array(a), as_array(b)
     m, n = len(A), len(B)
     add_work(max(m, 1) * max(n, 1))
+    _M_CELLS_SCRIPT.inc(max(m, 1) * max(n, 1))
     d = np.zeros((m + 1, n + 1), dtype=np.int64)
     d[0, :] = np.arange(n + 1)
     d[:, 0] = np.arange(m + 1)

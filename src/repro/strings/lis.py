@@ -13,10 +13,13 @@ from typing import List
 
 import numpy as np
 
+from ..metrics import get_registry
 from ..mpc.accounting import add_work
 from .types import StringLike, as_array
 
 __all__ = ["lis_length", "lis_indices", "longest_increasing_subsequence"]
+
+_M_CELLS = get_registry().counter("strings.dp_cells", kernel="lis")
 
 
 def lis_length(seq: StringLike, strict: bool = True) -> int:
@@ -28,6 +31,7 @@ def lis_length(seq: StringLike, strict: bool = True) -> int:
     arr = as_array(seq)
     n = len(arr)
     add_work(n * max(int(np.ceil(np.log2(n))), 1) if n else 1)
+    _M_CELLS.inc(n * max(int(np.ceil(np.log2(n))), 1) if n else 1)
     find = bisect_left if strict else bisect_right
     tails: List[int] = []
     for v in arr.tolist():

@@ -31,10 +31,16 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..metrics import get_registry
 from ..mpc.accounting import add_work
 from .edit_distance import levenshtein
 from .lcs import lcs_length_duplicate_free, position_map
 from .types import INF, StringLike, as_array
+
+_M_CELLS_SPARSE = get_registry().counter("strings.dp_cells",
+                                         kernel="ulam_sparse")
+_M_CALLS_SPARSE = get_registry().counter("strings.kernel_calls",
+                                         kernel="ulam_sparse")
 
 #: Below this many match points the chain DP runs on plain Python lists,
 #: which beat NumPy's per-call overhead on tiny arrays.
@@ -136,6 +142,8 @@ def ulam_from_matches(i_pts: np.ndarray, p_pts: np.ndarray, m: int, n: int,
         i_pts, p_pts = i_pts[keep], p_pts[keep]
     c = len(i_pts)
     add_work(c * c + 1)
+    _M_CELLS_SPARSE.inc(c * c + 1)
+    _M_CALLS_SPARSE.inc()
     best = max(m, n)  # empty chain: substitute everything
     if c == 0:
         return best
@@ -214,6 +222,7 @@ def local_ulam_from_matches(i_pts: np.ndarray, p_pts: np.ndarray,
     """
     c = len(i_pts)
     add_work(c * c + 1)
+    _M_CELLS_SPARSE.inc(c * c + 1)
     if c == 0:
         return 0, 0, m
     D = np.empty(c, dtype=np.int64)

@@ -24,9 +24,14 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..metrics import get_registry
 from ..mpc.accounting import add_work
 from ..strings.ulam import local_ulam_from_matches, ulam_auto
 from .config import UlamConfig
+
+_M_WINDOWS = get_registry().counter("ulam.candidate_windows")
+_M_TUPLES = get_registry().counter("ulam.candidate_tuples")
+_M_PER_BLOCK = get_registry().histogram("ulam.candidates_per_block")
 
 __all__ = ["BlockPayload", "make_block_payload", "make_block_part",
            "make_round1_broadcast", "run_block_machine", "CandidateTuple"]
@@ -172,6 +177,8 @@ def run_block_machine(payload: BlockPayload) -> List[CandidateTuple]:
 
     # Distance evaluation: sparse chain DP per window from positions only.
     add_work(len(wanted))
+    _M_WINDOWS.inc(len(wanted))
+    _M_PER_BLOCK.observe(len(wanted))
     order = np.argsort(p_pts, kind="stable")
     p_sorted = p_pts[order]
     tuples: List[CandidateTuple] = []
@@ -186,4 +193,5 @@ def run_block_machine(payload: BlockPayload) -> List[CandidateTuple]:
     if top_k is not None and len(tuples) > top_k:
         tuples.sort(key=lambda t: (t[4], t[3] - t[2]))
         tuples = tuples[:top_k]
+    _M_TUPLES.inc(len(tuples))
     return tuples

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..metrics import MetricsRegistry, get_registry
 from ..mpc.accounting import RunStats
 from ..mpc.plan import Pipeline, RoundSpec
 from ..mpc.simulator import MPCSimulator
@@ -118,6 +119,12 @@ def mpc_ulam(s, t, x: float = 0.25, eps: float = 0.5,
     if sim is None:
         sim = MPCSimulator(memory_limit=params.memory_limit)
 
+    # Per-run metrics view: the registry is process-cumulative, so the
+    # run's contribution is the delta between a start mark and the final
+    # snapshot (empty — and free — while metrics are disabled).
+    reg = get_registry()
+    mark = reg.mark() if reg.enabled else None
+
     # The phase-2 machine must hold every shipped tuple, so the per-block
     # shipping cap adapts to the memory budget: ship at most what half the
     # phase-2 machine's memory can hold (6 words per tuple).
@@ -159,6 +166,10 @@ def mpc_ulam(s, t, x: float = 0.25, eps: float = 0.5,
         collector=lambda outs, _: outs[0]), tuples)
     distance = min(int(answer), max(n, len(T)))
 
+    stats = sim.stats.snapshot()
+    if mark is not None:
+        reg.gauge("ulam.phase2_top_k").set(config.phase2_top_k)
+        stats.metrics = MetricsRegistry.delta(mark, reg.snapshot())
     return UlamResult(distance=distance, n=n, params=params,
-                      stats=sim.stats.snapshot(), n_tuples=len(tuples),
+                      stats=stats, n_tuples=len(tuples),
                       tuples=tuples if keep_tuples else None)

@@ -12,6 +12,25 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(0xC0FFEE)
 
 
+@pytest.fixture(autouse=True)
+def _metrics_isolation():
+    """Keep the process-wide metrics registry isolated between tests.
+
+    CLI commands enable collection globally; without this fixture a test
+    running after a CLI test would silently observe (and accumulate
+    into) another test's counters.
+    """
+    from repro.metrics import get_registry
+    reg = get_registry()
+    was_enabled = reg.enabled
+    yield
+    if was_enabled:
+        reg.enable()
+    else:
+        reg.disable()
+    reg.reset()
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running integration test (still in the "

@@ -69,3 +69,41 @@ def test_checker_ignores_commented_calls(tmp_path):
         "# JsonlSink('t')\n")
     proc = _check(tmp_path)
     assert proc.returncode == 0, proc.stdout
+
+
+def test_checker_flags_metrics_mutation_outside_repro(tmp_path):
+    bad = tmp_path / "tests"
+    bad.mkdir(parents=True)
+    (bad / "test_rogue.py").write_text(
+        "from repro.metrics import get_registry\n"
+        "get_registry().counter('sneaky').inc()\n")
+    proc = _check(tmp_path)
+    assert proc.returncode == 1
+    assert "test_rogue.py:2" in proc.stdout
+    assert "metrics" in proc.stdout
+    assert "snapshot" in proc.stdout             # the fix hint
+
+
+def test_checker_allows_metrics_mutation_in_repro_and_own_tests(tmp_path):
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "kernel.py").write_text(
+        "_M = get_registry().counter('dp.cells')\n")
+    tests = tmp_path / "tests"
+    tests.mkdir()
+    (tests / "test_metrics.py").write_text(
+        "c = reg.counter('c')\n"
+        "g = reg.gauge('g')\n"
+        "h = reg.histogram('h')\n")
+    proc = _check(tmp_path)
+    assert proc.returncode == 0, proc.stdout
+
+
+def test_checker_flags_metrics_mutation_in_benchmarks(tmp_path):
+    bench = tmp_path / "benchmarks"
+    bench.mkdir(parents=True)
+    (bench / "bench_rogue.py").write_text(
+        "reg.histogram('lat', phase='x').observe(1)\n")
+    proc = _check(tmp_path)
+    assert proc.returncode == 1
+    assert "bench_rogue.py:1" in proc.stdout

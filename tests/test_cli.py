@@ -8,6 +8,17 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cwd(tmp_path, monkeypatch):
+    """Run every CLI test from a scratch directory.
+
+    ``ulam``/``edit``/``chaos`` append to ``.repro/history.jsonl`` under
+    the working directory by default; without this fixture the suite
+    would litter run records into the repository checkout.
+    """
+    monkeypatch.chdir(tmp_path)
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -237,3 +248,176 @@ class TestTelemetryCommands:
         assert main(["ulam", "--n", "128", "--budget", "8"]) == 0
         out = capsys.readouterr().out
         assert "span trace" not in out and "Run timeline" not in out
+
+
+class TestRegistryCommands:
+    """--json records, --check-guarantees, history and compare."""
+
+    # A chaos run that drops most machines returns a distance far above
+    # (1+eps) * exact — the canonical "mis-parameterised" run the
+    # guarantee monitor exists to catch (see TestRegistryCommands
+    # .test_check_guarantees_fails_on_degraded_run).
+    DEGRADED = ["chaos", "--algo", "ulam", "--n", "128", "--budget", "4",
+                "--eps", "0.5", "--seed", "0", "--fault-plan", "crash=0.6",
+                "--retries", "1", "--on-exhausted", "drop"]
+
+    def test_json_round_trips(self, capsys):
+        assert main(["ulam", "--n", "256", "--budget", "8", "--seed", "0",
+                     "--exact", "--json", "--no-history"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1, "--json must print exactly one line"
+        record = json.loads(out[0])
+        assert record["schema"] == 1
+        assert record["command"] == "ulam"
+        assert record["params"] == {"n": 256, "x": 0.4, "eps": 0.5,
+                                    "seed": 0, "budget": 8}
+        summary = record["summary"]
+        assert summary["distance"] == summary["exact"] * summary["ratio"]
+        for key in ("rounds", "max_machines", "max_memory_words",
+                    "total_work", "parallel_work",
+                    "total_communication_words"):
+            assert isinstance(summary[key], int), key
+        # CLI runs collect metrics; the delta rides inside the summary.
+        metrics = summary["metrics"]
+        assert metrics["ulam.candidate_tuples"]["type"] == "counter"
+        assert metrics["ulam.candidate_tuples"]["value"] > 0
+        # Round-trip: the printed line is the canonical serialisation.
+        assert json.loads(json.dumps(record, sort_keys=True)) == record
+
+    def test_json_edit_carries_regime(self, capsys):
+        assert main(["edit", "--n", "128", "--budget", "4", "--json",
+                     "--no-history"]) == 0
+        record = json.loads(capsys.readouterr().out.strip())
+        assert record["command"] == "edit"
+        assert record["regime"] in ("small", "large")
+        assert "accepted_guess" in record
+
+    def test_json_suppresses_human_report(self, capsys):
+        assert main(["ulam", "--n", "128", "--budget", "4", "--json",
+                     "--no-history"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4" not in out
+
+    def test_check_guarantees_pass_ulam(self, capsys):
+        assert main(["ulam", "--n", "256", "--budget", "8", "--seed", "0",
+                     "--check-guarantees", "--no-history"]) == 0
+        out = capsys.readouterr().out
+        assert "guarantees[ulam]: PASS" in out
+        assert "approximation_ratio" in out and "round_count" in out
+
+    def test_check_guarantees_pass_edit(self, capsys):
+        assert main(["edit", "--n", "128", "--budget", "4", "--seed", "0",
+                     "--check-guarantees", "--no-history"]) == 0
+        assert "guarantees[edit]: PASS" in capsys.readouterr().out
+
+    def test_check_guarantees_fails_on_degraded_run(self, capsys):
+        """Dropping machines breaks 1+eps; the monitor must exit 1."""
+        assert main(self.DEGRADED
+                    + ["--check-guarantees", "--no-history"]) == 1
+        out = capsys.readouterr().out
+        assert "guarantees[ulam]: FAIL" in out
+        assert "approximation_ratio" in out
+
+    def test_degraded_run_passes_without_the_flag(self, capsys):
+        """Without --check-guarantees the same run exits 0 (no gating)."""
+        assert main(self.DEGRADED + ["--no-history"]) == 0
+
+    def test_json_record_embeds_guarantee_verdict(self, capsys):
+        assert main(self.DEGRADED + ["--check-guarantees", "--json",
+                                     "--no-history"]) == 1
+        record = json.loads(capsys.readouterr().out.strip())
+        g = record["guarantees"]
+        assert g["algorithm"] == "ulam" and g["passed"] is False
+        failed = [c for c in g["checks"] if not c["passed"]]
+        assert any(c["name"] == "approximation_ratio" for c in failed)
+        assert record["fault_plan"].startswith("crash=0.6")
+
+    def test_history_appended_and_listed(self, tmp_path, capsys):
+        hist = tmp_path / "hist.jsonl"
+        assert main(["ulam", "--n", "128", "--budget", "4",
+                     "--history", str(hist)]) == 0
+        assert main(["edit", "--n", "128", "--budget", "4",
+                     "--history", str(hist)]) == 0
+        capsys.readouterr()
+        assert main(["history", "--history", str(hist)]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "ulam" in out and "edit" in out
+
+    def test_history_json_mode(self, tmp_path, capsys):
+        hist = tmp_path / "hist.jsonl"
+        assert main(["ulam", "--n", "128", "--budget", "4",
+                     "--history", str(hist)]) == 0
+        capsys.readouterr()
+        assert main(["history", "--history", str(hist), "--json"]) == 0
+        records = [json.loads(line) for line in
+                   capsys.readouterr().out.strip().splitlines()]
+        assert len(records) == 1 and records[0]["command"] == "ulam"
+
+    def test_history_default_path_under_cwd(self, tmp_path, capsys):
+        assert main(["ulam", "--n", "128", "--budget", "4"]) == 0
+        assert (tmp_path / ".repro" / "history.jsonl").exists()
+
+    def test_no_history_writes_nothing(self, tmp_path, capsys):
+        assert main(["ulam", "--n", "128", "--budget", "4",
+                     "--no-history"]) == 0
+        assert not (tmp_path / ".repro").exists()
+
+    def test_history_empty(self, tmp_path, capsys):
+        assert main(["history", "--history",
+                     str(tmp_path / "nope.jsonl")]) == 0
+        assert "no run history" in capsys.readouterr().out
+
+    def _baseline_from_run(self, tmp_path, capsys, doctor=None):
+        """Run once, return (baseline path, history path)."""
+        hist = tmp_path / "hist.jsonl"
+        assert main(["ulam", "--n", "128", "--budget", "4", "--seed", "0",
+                     "--history", str(hist), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out.strip())
+        if doctor is not None:
+            doctor(record)
+        base = tmp_path / "baseline.json"
+        base.write_text(json.dumps([record]))
+        return base, hist
+
+    def test_compare_ok_against_own_baseline(self, tmp_path, capsys):
+        base, hist = self._baseline_from_run(tmp_path, capsys)
+        assert main(["compare", "--baseline", str(base),
+                     "--history", str(hist)]) == 0
+        out = capsys.readouterr().out
+        assert ": ok" in out and "REGRESSED" not in out
+        assert "total_work" in out
+
+    def test_compare_detects_regression(self, tmp_path, capsys):
+        def doctor(record):
+            record["summary"]["total_work"] //= 2  # fresh looks 2x worse
+        base, hist = self._baseline_from_run(tmp_path, capsys, doctor)
+        assert main(["compare", "--baseline", str(base),
+                     "--history", str(hist)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_compare_tolerance_flag(self, tmp_path, capsys):
+        def doctor(record):
+            record["summary"]["total_work"] = int(
+                record["summary"]["total_work"] / 1.3)
+        base, hist = self._baseline_from_run(tmp_path, capsys, doctor)
+        # ~+30% over baseline: regressed at the default 15%...
+        assert main(["compare", "--baseline", str(base),
+                     "--history", str(hist)]) == 1
+        capsys.readouterr()
+        # ...tolerated with an explicit wider tolerance.
+        assert main(["compare", "--baseline", str(base),
+                     "--history", str(hist), "--tolerance", "0.5"]) == 0
+
+    def test_compare_no_matching_history(self, tmp_path, capsys):
+        base, hist = self._baseline_from_run(tmp_path, capsys)
+        with pytest.raises(SystemExit, match="no history run matches"):
+            main(["compare", "--baseline", str(base),
+                  "--history", str(tmp_path / "other.jsonl")])
+
+    def test_compare_missing_baseline_records(self, tmp_path):
+        base = tmp_path / "empty.json"
+        base.write_text("[]")
+        with pytest.raises(SystemExit, match="no baseline records"):
+            main(["compare", "--baseline", str(base)])

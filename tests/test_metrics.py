@@ -1,0 +1,218 @@
+"""Tests for the labelled metrics registry (repro.metrics).
+
+This file is the single sanctioned place outside ``src/repro/`` that
+obtains instrument handles (``counter``/``gauge``/``histogram``) — the
+API-boundary checker exempts it by name.
+"""
+
+import json
+
+import pytest
+
+from repro.metrics import (MetricsRegistry, disable, enable, enabled,
+                           get_registry, merge_snapshots, metric_key)
+
+
+class TestMetricKey:
+    def test_no_labels(self):
+        assert metric_key("dp.cells", {}) == "dp.cells"
+
+    def test_labels_sorted(self):
+        key = metric_key("dp.cells", {"kernel": "banded", "algo": "edit"})
+        assert key == "dp.cells{algo=edit,kernel=banded}"
+
+
+class TestInstruments:
+    def test_counter_disabled_is_noop(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(5)
+        assert c.value == 0 and not c.touched
+
+    def test_counter_enabled_accumulates(self):
+        reg = MetricsRegistry(enabled=True)
+        c = reg.counter("c")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42 and c.touched
+
+    def test_gauge_last_set_wins(self):
+        reg = MetricsRegistry(enabled=True)
+        g = reg.gauge("g")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+
+    def test_gauge_disabled_is_noop(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(3)
+        assert g.value == 0 and not g.touched
+
+    def test_histogram_moments(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("h")
+        for v in (4, 1, 7):
+            h.observe(v)
+        snap = h._snapshot()
+        assert snap == {"type": "histogram", "count": 3, "sum": 12,
+                        "min": 1, "max": 7}
+
+    def test_histogram_disabled_is_noop(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(5)
+        assert h.count == 0 and h.min is None and not h.touched
+
+    def test_handles_are_cached_per_name_and_labels(self):
+        reg = MetricsRegistry(enabled=True)
+        assert reg.counter("c", a=1) is reg.counter("c", a=1)
+        assert reg.counter("c", a=1) is not reg.counter("c", a=2)
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("m")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("m")
+
+
+class TestSnapshots:
+    def _loaded(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("work", phase="dense").inc(100)
+        reg.gauge("top_k").set(8)
+        reg.histogram("per_block").observe(3)
+        reg.histogram("per_block").observe(5)
+        return reg
+
+    def test_snapshot_includes_only_touched(self):
+        reg = self._loaded()
+        reg.counter("never.written")    # handle exists, never incremented
+        snap = reg.snapshot()
+        assert set(snap) == {"work{phase=dense}", "top_k", "per_block"}
+
+    def test_snapshot_is_json_serialisable(self):
+        snap = self._loaded().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_snapshot_keys_sorted(self):
+        snap = self._loaded().snapshot()
+        assert list(snap) == sorted(snap)
+
+    def test_delta_counters_subtract(self):
+        reg = self._loaded()
+        mark = reg.mark()
+        reg.counter("work", phase="dense").inc(50)
+        delta = MetricsRegistry.delta(mark, reg.snapshot())
+        assert delta["work{phase=dense}"]["value"] == 50
+
+    def test_delta_drops_untouched_series(self):
+        reg = self._loaded()
+        mark = reg.mark()
+        reg.counter("work", phase="dense").inc(1)
+        delta = MetricsRegistry.delta(mark, reg.snapshot())
+        # gauge unchanged, histogram saw no new observations
+        assert "top_k" not in delta and "per_block" not in delta
+
+    def test_delta_gauge_reports_change_and_first_appearance(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g").set(1)
+        mark = reg.mark()
+        reg.gauge("g").set(2)
+        reg.gauge("fresh").set(9)
+        delta = MetricsRegistry.delta(mark, reg.snapshot())
+        assert delta["g"]["value"] == 2
+        assert delta["fresh"]["value"] == 9
+
+    def test_delta_histogram_windows_count_and_sum(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.histogram("h").observe(10)
+        mark = reg.mark()
+        reg.histogram("h").observe(2)
+        delta = MetricsRegistry.delta(mark, reg.snapshot())
+        assert delta["h"]["count"] == 1 and delta["h"]["sum"] == 2
+        # min/max cannot be windowed post-hoc: cumulative extremes.
+        assert delta["h"]["min"] == 2 and delta["h"]["max"] == 10
+
+    def test_delta_from_empty_mark_is_full_snapshot(self):
+        reg = self._loaded()
+        assert MetricsRegistry.delta({}, reg.snapshot()) == reg.snapshot()
+
+    def test_reset_keeps_cached_handles_valid(self):
+        reg = self._loaded()
+        c = reg.counter("work", phase="dense")
+        reg.reset()
+        assert reg.snapshot() == {}
+        c.inc(7)
+        assert reg.snapshot() == {
+            "work{phase=dense}": {"type": "counter", "value": 7}}
+
+
+class TestMergeSnapshots:
+    def test_empty_is_identity(self):
+        snap = {"c": {"type": "counter", "value": 3}}
+        assert merge_snapshots(snap, {}) == snap
+        assert merge_snapshots({}, snap) == snap
+
+    def test_counters_add_gauges_max(self):
+        a = {"c": {"type": "counter", "value": 3},
+             "g": {"type": "gauge", "value": 5}}
+        b = {"c": {"type": "counter", "value": 4},
+             "g": {"type": "gauge", "value": 2}}
+        merged = merge_snapshots(a, b)
+        assert merged["c"]["value"] == 7
+        assert merged["g"]["value"] == 5
+
+    def test_histograms_combine_exactly(self):
+        a = {"h": {"type": "histogram", "count": 2, "sum": 6,
+                   "min": 1, "max": 5}}
+        b = {"h": {"type": "histogram", "count": 1, "sum": 9,
+                   "min": 9, "max": 9}}
+        merged = merge_snapshots(a, b)
+        assert merged["h"] == {"type": "histogram", "count": 3, "sum": 15,
+                               "min": 1, "max": 9}
+
+    def test_inputs_not_mutated(self):
+        a = {"c": {"type": "counter", "value": 3}}
+        b = {"c": {"type": "counter", "value": 4}}
+        merge_snapshots(a, b)
+        assert a["c"]["value"] == 3 and b["c"]["value"] == 4
+
+    def test_type_mismatch_raises(self):
+        a = {"m": {"type": "counter", "value": 3}}
+        b = {"m": {"type": "gauge", "value": 4}}
+        with pytest.raises(ValueError, match="cannot merge"):
+            merge_snapshots(a, b)
+
+    def test_incomparable_gauges_take_right_value(self):
+        a = {"g": {"type": "gauge", "value": "small"}}
+        b = {"g": {"type": "gauge", "value": 4}}
+        assert merge_snapshots(a, b)["g"]["value"] == 4
+
+
+class TestGlobalRegistry:
+    def test_disabled_by_default(self):
+        # The conftest fixture restores the pristine state around every
+        # test, so observing the default here is sound.
+        assert get_registry().enabled is False
+
+    def test_enable_disable_toggle(self):
+        enable()
+        assert get_registry().enabled
+        disable()
+        assert not get_registry().enabled
+
+    def test_enabled_context_restores_prior_state(self):
+        assert not get_registry().enabled
+        with enabled():
+            assert get_registry().enabled
+            with enabled(False):
+                assert not get_registry().enabled
+            assert get_registry().enabled
+        assert not get_registry().enabled
+
+    def test_enabled_context_collects(self):
+        with enabled() as reg:
+            reg.counter("scoped").inc(2)
+        snap = get_registry().snapshot()
+        assert snap["scoped"]["value"] == 2

@@ -100,3 +100,64 @@ class TestRunStats:
         for key in ("rounds", "max_machines", "max_memory_words",
                     "total_work", "parallel_work"):
             assert key in summary
+
+
+class TestRunStatsMetrics:
+    """RunStats carries the per-run metrics delta through snapshot,
+    merge and summary (see repro.metrics)."""
+
+    C = {"type": "counter", "value": 10}
+    H = {"type": "histogram", "count": 2, "sum": 6, "min": 1, "max": 5}
+
+    def _stats(self, metrics=None):
+        s = RunStats(rounds=[_round("a", [(1, 1, 1)])])
+        if metrics is not None:
+            s.metrics = metrics
+        return s
+
+    def test_snapshot_detaches_metrics(self):
+        s = self._stats({"c": dict(self.C)})
+        snap = s.snapshot()
+        snap.metrics["c"]["value"] = 999
+        assert s.metrics["c"]["value"] == 10
+
+    def test_merge_metrics_free_is_identity(self):
+        # Merging a metrics-bearing run with a metrics-free one (e.g. a
+        # guess sub-simulator that ran no instrumented kernels) must
+        # keep the metrics unchanged, both ways.
+        a = self._stats({"c": dict(self.C)})
+        b = self._stats()
+        assert a.merge(b).metrics == {"c": self.C}
+        assert b.merge(a).metrics == {"c": self.C}
+
+    def test_merge_combines_like_the_ledger(self):
+        a = self._stats({"c": dict(self.C),
+                         "g": {"type": "gauge", "value": 3},
+                         "h": dict(self.H)})
+        b = self._stats({"c": {"type": "counter", "value": 5},
+                         "g": {"type": "gauge", "value": 7},
+                         "h": {"type": "histogram", "count": 1, "sum": 9,
+                               "min": 9, "max": 9}})
+        merged = a.merge(b).metrics
+        assert merged["c"]["value"] == 15          # counters add
+        assert merged["g"]["value"] == 7           # gauges take max
+        assert merged["h"] == {"type": "histogram", "count": 3,
+                               "sum": 15, "min": 1, "max": 9}
+
+    def test_merge_does_not_mutate_operands(self):
+        a = self._stats({"c": dict(self.C)})
+        b = self._stats({"c": {"type": "counter", "value": 5}})
+        a.merge(b)
+        assert a.metrics["c"]["value"] == 10
+        assert b.metrics["c"]["value"] == 5
+
+    def test_summary_embeds_metrics_only_when_present(self):
+        assert "metrics" not in self._stats().summary()
+        summary = self._stats({"c": dict(self.C)}).summary()
+        assert summary["metrics"] == {"c": self.C}
+
+    def test_summary_metrics_are_json_ready(self):
+        import json
+        summary = self._stats({"c": dict(self.C),
+                               "h": dict(self.H)}).summary()
+        assert json.loads(json.dumps(summary))["metrics"]["h"]["sum"] == 6

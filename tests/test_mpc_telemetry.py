@@ -107,6 +107,42 @@ class TestSinks:
         with pytest.raises(ValueError, match="malformed"):
             read_jsonl(path)
 
+    def test_read_jsonl_recovers_complete_newline_less_tail(self, tmp_path):
+        # A crash between write() and the trailing flush can leave a
+        # final record that is complete JSON but lost its newline; that
+        # span is data, not damage, and must be recovered.
+        path = tmp_path / "t.jsonl"
+        good = json.dumps(Span(kind="round", name="r").to_dict())
+        tail = json.dumps(Span(kind="round", name="last").to_dict())
+        path.write_text(good + "\n" + tail)
+        assert [s.name for s in read_jsonl(path)] == ["r", "last"]
+
+    def test_streamed_trace_truncated_mid_record(self, tmp_path):
+        # End to end: stream a real run's trace through a JsonlSink,
+        # then chop the file mid-way through the final record — as a
+        # machine kill during the append would — and confirm the intact
+        # prefix survives at every truncation depth.
+        path = tmp_path / "run.jsonl"
+        sim = MPCSimulator(tracer=Tracer([JsonlSink(path)]))
+        pipe = Pipeline(sim)
+        pipe.round(RoundSpec("r1", _work10,
+                             partitioner=lambda _: [1, 2, 3]))
+        pipe.round(RoundSpec("r2", _work10,
+                             partitioner=lambda _: [4, 5]))
+        sim.tracer.close()
+        full = read_jsonl(path)
+        assert len(full) >= 4  # machine spans + collect spans
+        raw = path.read_bytes()
+        # Losing only the trailing newline keeps the record complete:
+        # it is recovered, not dropped.
+        path.write_bytes(raw[:-1])
+        assert read_jsonl(path) == full
+        # Losing bytes of the record itself drops it, keeps the prefix.
+        last_line_start = raw[:-1].rfind(b"\n") + 1
+        for cut in (2, (len(raw) - last_line_start) // 2):
+            path.write_bytes(raw[:len(raw) - cut])
+            assert read_jsonl(path) == full[:-1], f"cut={cut}"
+
 
 class TestTracer:
     def test_fans_out_to_all_sinks(self, tmp_path):

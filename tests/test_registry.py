@@ -1,0 +1,206 @@
+"""Tests for the append-only run history (repro.registry)."""
+
+import json
+
+import pytest
+
+from repro.registry import (GATED_METRICS, REGRESSION_TOLERANCE,
+                            append_record, compare_records, format_comparison,
+                            format_record, git_sha, load_baseline,
+                            make_record, match_baseline, read_history,
+                            record_key, utc_timestamp)
+
+
+def _record(command="ulam", n=256, x=0.4, eps=0.5, seed=0, budget=8,
+            **summary):
+    base_summary = {"distance": 16, "total_work": 1000,
+                    "parallel_work": 400,
+                    "total_communication_words": 50,
+                    "max_memory_words": 200}
+    base_summary.update(summary)
+    return make_record(command,
+                       {"n": n, "x": x, "eps": eps, "seed": seed,
+                        "budget": budget},
+                       base_summary)
+
+
+class TestMakeRecord:
+    def test_schema_and_identity_fields(self):
+        rec = _record()
+        assert rec["schema"] == 1
+        assert rec["command"] == "ulam"
+        assert rec["params"]["n"] == 256
+        assert rec["timestamp"].endswith("Z")
+
+    def test_git_sha_recorded_in_checkout(self):
+        # The test suite runs inside the repository, so the SHA resolves.
+        sha = git_sha()
+        assert sha is None or len(sha) == 40
+        assert _record()["git_sha"] == sha
+
+    def test_guarantees_and_extra_blocks(self):
+        rec = make_record("edit", {"n": 1}, {"distance": 0},
+                          guarantees={"passed": True, "checks": []},
+                          extra={"regime": "small"})
+        assert rec["guarantees"]["passed"] is True
+        assert rec["regime"] == "small"
+
+    def test_omitted_blocks_absent(self):
+        rec = _record()
+        assert "guarantees" not in rec and "regime" not in rec
+
+    def test_json_serialisable(self):
+        assert json.loads(json.dumps(_record(), sort_keys=True))
+
+    def test_timestamp_shape(self):
+        assert len(utc_timestamp()) == len("2026-01-01T00:00:00Z")
+
+
+class TestHistoryIO:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        first, second = _record(seed=0), _record(seed=1)
+        append_record(path, first)
+        append_record(path, second)
+        assert read_history(path) == [first, second]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "h.jsonl")
+        append_record(path, _record())
+        assert len(read_history(path)) == 1
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_history(str(tmp_path / "absent.jsonl")) == []
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        append_record(str(path), _record(seed=0))
+        append_record(str(path), _record(seed=1))
+        # Truncate mid-way through the final record, as a kill -9 during
+        # the second append would.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) - 40])
+        records = read_history(str(path))
+        assert len(records) == 1
+        assert records[0]["params"]["seed"] == 0
+
+    def test_midfile_damage_raises(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"broken\n' + json.dumps(_record()) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            read_history(str(path))
+
+    def test_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not an object"):
+            read_history(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text("\n" + json.dumps(_record()) + "\n\n")
+        assert len(read_history(str(path))) == 1
+
+
+class TestBaselines:
+    def test_record_key_identity(self):
+        assert record_key(_record()) == record_key(_record())
+        assert record_key(_record(seed=1)) != record_key(_record(seed=0))
+        assert record_key(_record(command="edit")) != record_key(_record())
+
+    def test_match_baseline(self):
+        baseline = [_record(seed=0), _record(seed=1)]
+        hit = match_baseline(_record(seed=1), baseline)
+        assert hit is baseline[1]
+        assert match_baseline(_record(seed=9), baseline) is None
+
+    def test_load_baseline_json_list(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps([_record()], indent=2))
+        assert len(load_baseline(str(path))) == 1
+
+    def test_load_baseline_jsonl(self, tmp_path):
+        path = tmp_path / "b.jsonl"
+        append_record(str(path), _record())
+        assert len(load_baseline(str(path))) == 1
+
+    def test_load_baseline_rejects_non_list(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("[1")  # JSON that starts like a list but is not
+        with pytest.raises(json.JSONDecodeError):
+            load_baseline(str(path))
+
+    def test_committed_baseline_is_loadable(self):
+        # The repository ships BENCH_table1.json as the CI baseline.
+        records = load_baseline("BENCH_table1.json")
+        assert {r["command"] for r in records} == {"ulam", "edit"}
+        for r in records:
+            for metric in GATED_METRICS:
+                assert isinstance(r["summary"][metric], int), metric
+
+
+class TestCompareRecords:
+    def test_identical_records_no_regression(self):
+        rec = _record()
+        comparison = compare_records(rec, rec)
+        assert not any(row["regressed"] for row in comparison.values())
+        assert comparison["total_work"]["change"] == 0.0
+
+    def test_regression_beyond_tolerance(self):
+        fresh = _record(total_work=2000)
+        comparison = compare_records(_record(), fresh)
+        row = comparison["total_work"]
+        assert row["regressed"] and row["change"] == 1.0
+
+    def test_tolerance_boundary_is_exclusive(self):
+        base = _record(total_work=1000)
+        at_tolerance = _record(
+            total_work=int(1000 * (1 + REGRESSION_TOLERANCE)))
+        assert not compare_records(
+            base, at_tolerance)["total_work"]["regressed"]
+        beyond = _record(total_work=1200)
+        assert compare_records(base, beyond)["total_work"]["regressed"]
+
+    def test_improvement_never_regresses(self):
+        comparison = compare_records(_record(), _record(total_work=10))
+        assert not comparison["total_work"]["regressed"]
+
+    def test_distance_row_is_informational(self):
+        comparison = compare_records(_record(distance=16),
+                                     _record(distance=99))
+        assert comparison["distance"]["regressed"] is False
+
+    def test_guarantee_failure_regresses(self):
+        fresh = _record()
+        fresh["guarantees"] = {"passed": False, "checks": []}
+        comparison = compare_records(_record(), fresh)
+        assert comparison["guarantees"]["regressed"] is True
+
+    def test_guarantee_pass_does_not_regress(self):
+        fresh = _record()
+        fresh["guarantees"] = {"passed": True, "checks": []}
+        assert not compare_records(
+            _record(), fresh)["guarantees"]["regressed"]
+
+    def test_missing_metric_skipped(self):
+        fresh = _record()
+        del fresh["summary"]["parallel_work"]
+        assert "parallel_work" not in compare_records(_record(), fresh)
+
+
+class TestFormatting:
+    def test_format_record_one_line(self):
+        line = format_record(_record())
+        assert "\n" not in line
+        assert "ulam" in line and "n=256" in line and "d=16" in line
+
+    def test_format_record_shows_verdict(self):
+        rec = _record()
+        rec["guarantees"] = {"passed": False}
+        assert "guarantees=FAIL" in format_record(rec)
+
+    def test_format_comparison_table(self):
+        text = format_comparison(compare_records(_record(),
+                                                 _record(total_work=2000)))
+        assert "REGRESSED" in text and "+100.0%" in text
+        assert "total_work" in text

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Enforce the MPC-layer API boundaries (stdlib only, CI-friendly).
 
-Two rules:
+Three rules:
 
 * Algorithm drivers must submit rounds through :mod:`repro.mpc.plan`
   (``Pipeline``/``RoundSpec``/``run_plan``) so that shuffle volume and
@@ -13,6 +13,11 @@ Two rules:
   benchmarks receive a ready :class:`~repro.mpc.telemetry.Tracer` (or
   build one via ``Tracer.to_jsonl``/``Tracer.in_memory``) and stay
   sink-agnostic, so the choice of trace format remains with the caller.
+* Metrics-registry *mutation* — obtaining a ``counter``/``gauge``/
+  ``histogram`` handle — is an internal privilege of ``src/repro/``.
+  Tests, examples and benchmarks consume snapshots read-only
+  (``get_registry().snapshot()`` / ``RunStats.metrics``); the
+  registry's own unit tests are the single sanctioned exception.
 
 Exit status 0 when clean; 1 with a per-offence listing otherwise.
 
@@ -27,13 +32,12 @@ import pathlib
 import re
 import sys
 
-#: Directories scanned for offending calls (relative to the repo root).
-SCANNED = ("src", "benchmarks")
-
-#: rule name -> (pattern, allowed path prefixes, offence text, fix hint).
+#: rule name -> (pattern, scanned dirs, allowed path prefixes,
+#:               offence text, fix hint).
 RULES = {
     "run_round": (
         re.compile(r"\.run_round\s*\("),
+        ("src", "benchmarks"),
         ("src/repro/mpc/",),
         "direct run_round call outside src/repro/mpc/",
         "Route rounds through repro.mpc.plan (Pipeline/RoundSpec) "
@@ -41,13 +45,30 @@ RULES = {
     ),
     "sink": (
         re.compile(r"\b(?:InMemorySink|JsonlSink)\s*\("),
+        ("src", "benchmarks"),
         ("src/repro/mpc/", "src/repro/cli.py"),
         "direct telemetry sink construction outside src/repro/mpc/ "
         "and src/repro/cli.py",
         "Accept a repro.mpc.Tracer (or use Tracer.to_jsonl / "
         "Tracer.in_memory) so drivers stay sink-agnostic.",
     ),
+    "metrics-mutation": (
+        re.compile(r"\.(?:counter|gauge|histogram)\s*\("),
+        ("src", "benchmarks", "tests", "examples"),
+        # test_metrics.py exercises the instruments themselves;
+        # test_api_boundary.py holds offending lines as string fixtures.
+        ("src/repro/", "tests/test_metrics.py",
+         "tests/test_api_boundary.py"),
+        "metrics-registry instrument creation outside src/repro/",
+        "Metrics mutation is internal to src/repro/; consume snapshots "
+        "read-only via get_registry().snapshot() or RunStats.metrics "
+        "(tests/test_metrics.py is the sanctioned exception).",
+    ),
 }
+
+#: Union of every rule's scan dirs (computed, not configured).
+SCANNED = tuple(sorted({d for _, dirs, _, _, _ in RULES.values()
+                        for d in dirs}))
 
 
 def offences(root: pathlib.Path):
@@ -60,7 +81,10 @@ def offences(root: pathlib.Path):
             for lineno, line in enumerate(
                     path.read_text().splitlines(), start=1):
                 stripped = line.split("#", 1)[0]
-                for rule, (pattern, allowed, text, hint) in RULES.items():
+                for rule, (pattern, dirs, allowed, text,
+                           hint) in RULES.items():
+                    if top not in dirs:
+                        continue
                     if rel.startswith(allowed):
                         continue
                     if pattern.search(stripped):
@@ -81,8 +105,9 @@ def main(argv):
         for hint in hints:
             print(hint)
         return 1
-    print("API boundary clean: no direct run_round calls or sink "
-          "constructions outside their sanctioned modules")
+    print("API boundary clean: no direct run_round calls, sink "
+          "constructions, or metrics mutation outside their "
+          "sanctioned modules")
     return 0
 
 
