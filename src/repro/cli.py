@@ -27,7 +27,9 @@ algorithm under injected machine failures (see
 docs/ARCHITECTURE.md, "Failure model & recovery"), plus ``--trace
 PATH`` (stream a per-machine span trace as JSONL) and ``--skew``
 (print straggler analytics after the run) — see docs/ARCHITECTURE.md,
-"Telemetry & span model".
+"Telemetry & span model".  ``--no-data-plane`` ships payload arrays by
+copy instead of shared-memory descriptors (the E22 A/B baseline) — see
+docs/ARCHITECTURE.md, "Data plane: logical words vs physical bytes".
 
 ``ulam`` / ``edit`` / ``chaos`` runs collect the metrics registry
 (:mod:`repro.metrics`), append a run record to the JSONL history
@@ -115,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-history", action="store_true",
                        help="do not append the run to the history")
 
+    def data_plane_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--no-data-plane", action="store_true",
+                       help="ship payload arrays by copy instead of "
+                            "shared-memory slice descriptors (the E22 "
+                            "A/B baseline; ledgers are identical either "
+                            "way, only physical bytes change)")
+
     def chaos_opts(p: argparse.ArgumentParser) -> None:
         p.add_argument("--fault-plan", type=str, default=None,
                        metavar="SPEC",
@@ -131,11 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ulam = sub.add_parser("ulam", help="Theorem 4 (1+eps, 2 rounds)")
     common(p_ulam, default_x=0.4, default_eps=0.5)
+    data_plane_opts(p_ulam)
     chaos_opts(p_ulam)
     telemetry_opts(p_ulam)
     registry_opts(p_ulam)
     p_edit = sub.add_parser("edit", help="Theorem 9 (3+eps, <=4 rounds)")
     common(p_edit, default_x=0.25, default_eps=1.0)
+    data_plane_opts(p_edit)
     chaos_opts(p_edit)
     telemetry_opts(p_edit)
     registry_opts(p_edit)
@@ -161,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     # x/eps default to the chosen algorithm's own defaults (resolved
     # after parsing, once --algo is known).
     common(ch, default_x=None, default_eps=None)
+    data_plane_opts(ch)
     chaos_opts(ch)
     telemetry_opts(ch)
     registry_opts(ch)
@@ -394,7 +406,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             args, UlamParams(n=len(s), x=args.x, eps=args.eps).memory_limit)
         res = _run_traced(sim, "ulam",
                           lambda: mpc_ulam(s, t, x=args.x, eps=args.eps,
-                                           seed=args.seed, sim=sim))
+                                           seed=args.seed, sim=sim,
+                                           data_plane=not
+                                           args.no_data_plane))
         exact = ulam_distance(s, t) if args.exact else None
         if not args.json:
             _print_result("MPC Ulam distance (Theorem 4)", res.distance,
@@ -415,7 +429,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                           lambda: mpc_edit_distance(s, t, x=args.x,
                                                     eps=args.eps,
                                                     seed=args.seed,
-                                                    sim=sim))
+                                                    sim=sim,
+                                                    data_plane=not
+                                                    args.no_data_plane))
         exact = levenshtein(s, t) if args.exact else None
         if not args.json:
             _print_result("MPC edit distance (Theorem 9)", res.distance,
@@ -449,7 +465,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             res = _run_traced(sim, "chaos-ulam",
                               lambda: mpc_ulam(s, t, x=args.x,
                                                eps=args.eps,
-                                               seed=args.seed, sim=sim))
+                                               seed=args.seed, sim=sim,
+                                               data_plane=not
+                                               args.no_data_plane))
             exact = ulam_distance(s, t) if args.exact else None
             title = "Chaos run: MPC Ulam distance (Theorem 4)"
         else:
@@ -461,7 +479,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                               lambda: mpc_edit_distance(s, t, x=args.x,
                                                         eps=args.eps,
                                                         seed=args.seed,
-                                                        sim=sim))
+                                                        sim=sim,
+                                                        data_plane=not
+                                                        args.no_data_plane))
             exact = levenshtein(s, t) if args.exact else None
             title = "Chaos run: MPC edit distance (Theorem 9)"
         if not args.json:

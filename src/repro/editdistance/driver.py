@@ -30,6 +30,7 @@ import numpy as np
 
 from ..metrics import MetricsRegistry, get_registry
 from ..mpc.accounting import RunStats
+from ..mpc.shm import DataPlane
 from ..mpc.simulator import MPCSimulator
 from ..params import EditParams
 from ..strings.types import as_array
@@ -65,7 +66,8 @@ class EditResult:
 def mpc_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
                       sim: Optional[MPCSimulator] = None,
                       config: Optional[EditConfig] = None,
-                      seed: int = 0) -> EditResult:
+                      seed: int = 0,
+                      data_plane: bool = True) -> EditResult:
     """Approximate ``ed(s, t)`` with the paper's MPC algorithm.
 
     Parameters
@@ -87,6 +89,13 @@ def mpc_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
         Algorithm constants; default :meth:`EditConfig.default`.
     seed:
         Root seed for all sampling (representatives, sparse blocks).
+    data_plane:
+        Publish ``S`` and ``T`` once into shared-memory segments and ship
+        per-machine :class:`~repro.mpc.shm.SharedSlice` descriptors in
+        place of substring copies (default).  Ledgers are byte-identical
+        either way — descriptors charge the logical word count of the
+        slice they stand for; only the physical pickle bytes change.
+        ``False`` restores copy-payloads (the E22 A/B baseline).
 
     Returns
     -------
@@ -158,35 +167,47 @@ def mpc_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
     regime_used = "none"
     per_guess: List[Dict[str, object]] = []
 
-    for gi, guess in enumerate(params.distance_guesses()):
-        sub = sim.spawn()
-        if config.force_regime == "auto":
-            small = params.is_small_regime(guess)
-        else:
-            small = config.force_regime == "small"
-        if small:
-            bound, n_tuples = small_distance_upper_bound(
-                S, T, params, guess, sub, config)
-            info: Dict[str, object] = {"n_tuples": n_tuples}
-        else:
-            bound, info = large_distance_upper_bound(
-                S, T, params, guess, sub, config,
-                seed=seed * (1 << 16) + gi)
-        sim.absorb(sub)
-        entry = {"guess": guess,
-                 "regime": "small" if small else "large",
-                 "bound": bound,
-                 "accepted": bound <= accept * guess}
-        entry.update(info)
-        per_guess.append(entry)
-        if best is None or bound < best:
-            best = bound
-        if bound <= accept * guess:
-            if accepted_guess is None:
-                accepted_guess = guess
-                regime_used = "small" if small else "large"
-            if config.guess_mode == "doubling":
-                break
+    # One data plane serves every guess: S and T are published once and
+    # all partitioners ship descriptors of them.
+    plane = DataPlane(tracer=sim.tracer) if data_plane else None
+    try:
+        if plane is not None:
+            plane.publish("S", S)
+            plane.publish("T", T)
+        for gi, guess in enumerate(params.distance_guesses()):
+            sub = sim.spawn()
+            if config.force_regime == "auto":
+                small = params.is_small_regime(guess)
+            else:
+                small = config.force_regime == "small"
+            if small:
+                bound, n_tuples = small_distance_upper_bound(
+                    S, T, params, guess, sub, config, plane=plane)
+                info: Dict[str, object] = {"n_tuples": n_tuples}
+            else:
+                bound, info = large_distance_upper_bound(
+                    S, T, params, guess, sub, config,
+                    seed=seed * (1 << 16) + gi, plane=plane)
+            sim.absorb(sub)
+            entry = {"guess": guess,
+                     "regime": "small" if small else "large",
+                     "bound": bound,
+                     "accepted": bound <= accept * guess}
+            entry.update(info)
+            per_guess.append(entry)
+            if best is None or bound < best:
+                best = bound
+            if bound <= accept * guess:
+                if accepted_guess is None:
+                    accepted_guess = guess
+                    regime_used = "small" if small else "large"
+                if config.guess_mode == "doubling":
+                    break
+    finally:
+        # Segments must not outlive the run under any exit path —
+        # memory-cap violations, chaos-exhausted retries, interrupts.
+        if plane is not None:
+            plane.close()
 
     assert best is not None  # guess schedule always reaches 2n
     sim.stats.rounds = prefix_rounds + sim.stats.rounds

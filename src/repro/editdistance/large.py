@@ -33,7 +33,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..metrics import get_registry
+from ..mpc.distcache import distance_cache, pair_key
 from ..mpc.plan import Pipeline, RoundSpec
+from ..mpc.shm import DataPlane
 from ..mpc.simulator import MPCSimulator
 from ..params import EditParams
 from ..strings.approx import make_inner
@@ -81,15 +83,27 @@ def run_rep_distance_machine(payload: Dict[str, object]) -> np.ndarray:
     built the payload — reconstructs the (rep, node) pairing.  Shipping
     one word per distance keeps the machine output within its memory cap.
     """
-    solver = make_inner(str(payload["solver"]), float(payload["eps_inner"]))
+    solver_kind = str(payload["solver"])
+    eps_inner = float(payload["eps_inner"])
+    solver = make_inner(solver_kind, eps_inner)
     reps: List[Tuple[int, np.ndarray]] = payload["reps"]       # type: ignore
     blocks: List[Tuple[NodeId, np.ndarray]] = payload["blocks"]  # type: ignore
     groups: List[Tuple[int, np.ndarray, List[int]]] = \
         payload["cs_groups"]                                   # type: ignore
+    cache = distance_cache()
     out: List[int] = []
     for rep_idx, rep_arr in reps:
         for node_id, node_arr in blocks:
-            out.append(int(solver(rep_arr, node_arr)))
+            if cache is None:
+                d = int(solver(rep_arr, node_arr))
+            else:
+                key = pair_key("ed-pair", rep_arr, node_arr,
+                               solver_kind, eps_inner)
+                d = cache.lookup(key)
+                if d is None:
+                    d = int(solver(rep_arr, node_arr))
+                    cache.store(key, d)
+            out.append(d)
         for st, seg, ens in groups:
             row = levenshtein_last_row(rep_arr, seg)
             for en in ens:
@@ -119,10 +133,22 @@ def run_pair_distance_machine(payload: Dict[str, object]) -> np.ndarray:
 
     Returns a flat distance array in item order.
     """
-    solver = make_inner(str(payload["solver"]), float(payload["eps_inner"]))
+    solver_kind = str(payload["solver"])
+    eps_inner = float(payload["eps_inner"])
+    solver = make_inner(solver_kind, eps_inner)
+    cache = distance_cache()
     out: List[int] = []
     for lo, hi, block_arr, st, en, win_arr in payload["items"]:  # type: ignore
-        out.append(int(solver(block_arr, win_arr)))
+        if cache is None:
+            d = int(solver(block_arr, win_arr))
+        else:
+            key = pair_key("ed-pair", block_arr, win_arr,
+                           solver_kind, eps_inner)
+            d = cache.lookup(key)
+            if d is None:
+                d = int(solver(block_arr, win_arr))
+                cache.store(key, d)
+        out.append(d)
     return np.asarray(out, dtype=np.int64)
 
 
@@ -144,15 +170,38 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
                                params: EditParams, guess: int,
                                sim: MPCSimulator, config: EditConfig,
                                seed: int = 0,
-                               round_prefix: str = "ed-large"
+                               round_prefix: str = "ed-large",
+                               plane: Optional[DataPlane] = None
                                ) -> Tuple[int, Dict[str, int]]:
     """Run the four-round large-distance algorithm for one guess.
 
     Returns ``(upper_bound, diagnostics)``; the bound is the cost of an
     explicit transformation (always valid) and approximates
     ``ed(S, T) ≤ guess`` within ``3+ε`` w.h.p. (Lemma 8).
+
+    *plane* is an optional data plane with ``S``/``T`` already published
+    (see :func:`repro.editdistance.driver.mpc_edit_distance`): payloads
+    then carry slice descriptors instead of array copies.
     """
     n, n_t = len(S), len(T)
+    if plane is not None:
+        def s_part(lo: int, hi: int):
+            return plane.slice("S", lo, hi)
+
+        def t_part(lo: int, hi: int):
+            return plane.slice("T", lo, hi)
+    else:
+        def s_part(lo: int, hi: int):
+            return S[lo:hi]
+
+        def t_part(lo: int, hi: int):
+            return T[lo:hi]
+
+    def node_part(node: NodeId):
+        # Block nodes live in S, candidate nodes in T (see graph.node_string).
+        kind, a, b = node
+        return s_part(a, b) if kind == "b" else t_part(a, b)
+
     rng = np.random.default_rng(seed)
     B = params.block_size_large
     gap = params.gap(guess, B)
@@ -167,7 +216,7 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
 
     def group_payload_entries(groups: Sequence[CsGroup]
                               ) -> List[Tuple[int, np.ndarray, List[int]]]:
-        return [(st, T[st:min(max(ens), n_t)], list(ens))
+        return [(st, t_part(st, max(st, min(max(ens), n_t))), list(ens))
                 for st, ens in groups]
 
     # ---- round 1: representatives --------------------------------------
@@ -194,14 +243,14 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
     layouts: List[Tuple[List[int], List[NodeId], List[CsGroup]]] = []
     for ri in range(0, len(rep_ids), rep_chunk):
         rids = rep_ids[ri:ri + rep_chunk]
-        rchunk = [(i, node_string(all_nodes[i], S, T)) for i in rids]
+        rchunk = [(i, node_part(all_nodes[i])) for i in rids]
         rep_words = sum(max(len(a), 1) for _, a in rchunk)
         first = True
 
         def flush(gchunk: List[CsGroup], bchunk: List[NodeId]) -> None:
             payloads.append({
                 "reps": rchunk,
-                "blocks": [(b, node_string(b, S, T)) for b in bchunk],
+                "blocks": [(b, node_part(b)) for b in bchunk],
                 "cs_groups": group_payload_entries(gchunk)})
             layouts.append((rids, list(bchunk), list(gchunk)))
 
@@ -284,7 +333,7 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
             g_out = len(ens)
             if gchunk and (in_words + g_in > in_budget
                            or out_words + g_out > out_budget):
-                payloads.append({"lo": lo, "hi": hi, "block": S[lo:hi],
+                payloads.append({"lo": lo, "hi": hi, "block": s_part(lo, hi),
                                  "cs_groups": group_payload_entries(gchunk)})
                 layouts2.append((lo, hi, gchunk))
                 gchunk, in_words, out_words = [], B, 0
@@ -292,7 +341,7 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
             in_words += g_in
             out_words += g_out
         if gchunk:
-            payloads.append({"lo": lo, "hi": hi, "block": S[lo:hi],
+            payloads.append({"lo": lo, "hi": hi, "block": s_part(lo, hi),
                              "cs_groups": group_payload_entries(gchunk)})
             layouts2.append((lo, hi, gchunk))
     def collect_direct(outs: List[object], _state: object) -> List[EditTuple]:
@@ -356,7 +405,7 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
         chunk = ext_pairs[pi:pi + pairs_per_machine]
         pair_chunks.append(chunk)
         payloads.append({
-            "items": [(lo, hi, S[lo:hi], st, en, T[st:en])
+            "items": [(lo, hi, s_part(lo, hi), st, en, t_part(st, en))
                       for (lo, hi, st, en) in chunk]})
 
     def collect_ext(outs: List[object], _state: object) -> List[EditTuple]:

@@ -18,7 +18,9 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..metrics import get_registry
+from ..mpc.distcache import distance_cache
 from ..mpc.plan import Pipeline, RoundSpec
+from ..mpc.shm import DataPlane
 from ..mpc.simulator import MPCSimulator
 from ..params import EditParams
 from ..strings.approx import make_inner
@@ -63,6 +65,8 @@ def run_small_block_machine(payload: Dict[str, object]) -> List[EditTuple]:
     top_k: Optional[int] = payload["top_k"]         # type: ignore
 
     B = hi - lo
+    cache = distance_cache()
+    block_key = block.tobytes() if cache is not None else b""
     tuples: List[EditTuple] = []
     if inner_kind == "row":
         for sp in starts:
@@ -74,11 +78,28 @@ def run_small_block_machine(payload: Dict[str, object]) -> List[EditTuple]:
             if len(seg) != max_en - sp:  # pragma: no cover - invariant
                 raise AssertionError("machine feed does not cover candidate")
             _M_WINDOWS.inc(len(wins))
-            row = levenshtein_last_row(block, seg)
-            for (st, en) in wins:
-                tuples.append((lo, hi, st, en, int(row[en - st])))
+            if cache is None:
+                row = levenshtein_last_row(block, seg)
+                for (st, en) in wins:
+                    tuples.append((lo, hi, st, en, int(row[en - st])))
+                continue
+            # Candidates sharing a start are prefixes of ``seg``, so the
+            # content key of window (st, en) is the prefix bytes; when
+            # every window hits, the whole DP row is skipped.
+            keys = [("ed-row", block_key, seg[:en - st].tobytes())
+                    for (st, en) in wins]
+            vals = [cache.lookup(k) for k in keys]
+            if any(v is None for v in vals):
+                row = levenshtein_last_row(block, seg)
+                for i, (st, en) in enumerate(wins):
+                    if vals[i] is None:
+                        vals[i] = int(row[en - st])
+                        cache.store(keys[i], vals[i])
+            for (st, en), v in zip(wins, vals):
+                tuples.append((lo, hi, st, en, int(v)))
     else:
         inner = make_inner(inner_kind, float(payload["eps_inner"]))
+        eps_inner = float(payload["eps_inner"])
         for sp in starts:
             wins = candidate_windows(sp, B, offsets, eps_prime, n_t)
             _M_WINDOWS.inc(len(wins))
@@ -87,7 +108,16 @@ def run_small_block_machine(payload: Dict[str, object]) -> List[EditTuple]:
                 if len(seg) != en - st:  # pragma: no cover - invariant
                     raise AssertionError(
                         "machine feed does not cover candidate")
-                tuples.append((lo, hi, st, en, int(inner(block, seg))))
+                if cache is None:
+                    d = int(inner(block, seg))
+                else:
+                    key = ("ed-pair", inner_kind, eps_inner, block_key,
+                           seg.tobytes())
+                    d = cache.lookup(key)
+                    if d is None:
+                        d = int(inner(block, seg))
+                        cache.store(key, d)
+                tuples.append((lo, hi, st, en, d))
     if top_k is not None and len(tuples) > top_k:
         tuples.sort(key=lambda t: (t[4], t[3] - t[2]))
         tuples = tuples[:top_k]
@@ -98,7 +128,8 @@ def run_small_block_machine(payload: Dict[str, object]) -> List[EditTuple]:
 def small_distance_upper_bound(S: np.ndarray, T: np.ndarray,
                                params: EditParams, guess: int,
                                sim: MPCSimulator, config: EditConfig,
-                               round_prefix: str = "ed-small"
+                               round_prefix: str = "ed-small",
+                               plane: Optional[DataPlane] = None
                                ) -> Tuple[int, int]:
     """Run the two-round small-distance algorithm for one guess.
 
@@ -106,8 +137,24 @@ def small_distance_upper_bound(S: np.ndarray, T: np.ndarray,
     explicit transformation (always valid); it is ``(3+ε)``-approximate
     whenever ``ed(S, T) ≤ guess`` (Lemma 6) with the cgks inner solver,
     and ``(1+ε)``-approximate with an exact inner solver.
+
+    *plane* is an optional data plane with ``S``/``T`` already published
+    (see :func:`repro.editdistance.driver.mpc_edit_distance`): payloads
+    then carry slice descriptors instead of array copies.
     """
     n = len(S)
+    if plane is not None:
+        def s_part(lo: int, hi: int):
+            return plane.slice("S", lo, hi)
+
+        def t_part(lo: int, hi: int):
+            return plane.slice("T", lo, hi)
+    else:
+        def s_part(lo: int, hi: int):
+            return S[lo:hi]
+
+        def t_part(lo: int, hi: int):
+            return T[lo:hi]
     n_t = len(T)
     B = params.block_size_small
     gap = params.gap(guess, B)
@@ -138,8 +185,8 @@ def small_distance_upper_bound(S: np.ndarray, T: np.ndarray,
             text_end = min(chunk[-1] + max_len, n_t)
             payloads.append({
                 "lo": lo, "hi": hi,
-                "block": S[lo:hi],
-                "text": T[text_off:text_end],
+                "block": s_part(lo, hi),
+                "text": t_part(text_off, text_end),
                 "text_off": text_off,
                 "starts": chunk,
             })

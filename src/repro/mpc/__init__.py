@@ -19,6 +19,15 @@ and a :class:`~repro.mpc.plan.Pipeline` runs spec sequences on either
 simulator while charging shuffle/broadcast volume to the ledger.  See
 docs/ARCHITECTURE.md, "Round plans & shuffle accounting".
 
+The data plane (:mod:`repro.mpc.shm`) publishes a run's immutable
+arrays once into shared-memory segments; payloads then carry tiny
+:class:`~repro.mpc.shm.SharedSlice` descriptors that resolve into numpy
+views inside the executing process, so physical IPC bytes stop scaling
+with payload volume while the word-based ledgers stay byte-identical.
+The sibling :mod:`repro.mpc.distcache` memoises duplicate (block,
+candidate) kernel evaluations (opt-in).  See docs/ARCHITECTURE.md,
+"Data plane: logical words vs physical bytes".
+
 The telemetry layer (:mod:`repro.mpc.telemetry`) records one span per
 machine invocation (retry attempts included) plus round/collector/run
 spans through pluggable sinks — in-memory, streamed JSONL, and a
@@ -29,6 +38,8 @@ when disabled.  See docs/ARCHITECTURE.md, "Telemetry & span model".
 from .accounting import (RoundStats, RunStats, WorkMeter, add_work,
                          isolated_meters)
 from .chaos_executor import FaultInjectingExecutor
+from .distcache import (DistanceCache, disable_distance_cache,
+                        distance_cache, enable_distance_cache)
 from .errors import (MachineCrashed, MemoryLimitExceeded, MPCError,
                      RoundFailedError, RoundProtocolError)
 from .executor import Executor, ProcessPoolExecutor, SerialExecutor
@@ -38,6 +49,8 @@ from .machine import Broadcast, MachineResult, MachineTask, execute_task
 from .partition import block_of, blocks, chunk, pack_by_weight
 from .plan import Pipeline, RoundSpec, run_plan
 from .retry import ResilientSimulator, RetryPolicy
+from .shm import (DataPlane, SharedSlice, active_segments,
+                  detach_segments, payload_byte_stats, resolve_payload)
 from .simulator import MPCSimulator, prepare_broadcast
 from .sizeof import sizeof
 from .telemetry import (InMemorySink, JsonlSink, Sink, Span, Tracer,
@@ -63,4 +76,8 @@ __all__ = [
     "save_run_stats", "isolated_meters", "distributed_equal",
     "Span", "Sink", "InMemorySink", "JsonlSink", "Tracer",
     "read_jsonl", "export_chrome_trace",
+    "DataPlane", "SharedSlice", "active_segments", "detach_segments",
+    "payload_byte_stats", "resolve_payload",
+    "DistanceCache", "enable_distance_cache", "disable_distance_cache",
+    "distance_cache",
 ]

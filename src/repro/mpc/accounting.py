@@ -119,6 +119,17 @@ class RoundStats:
     broadcast_words: int = 0
     shuffle_words: int = 0
     shuffle_work: int = 0
+    # Data-plane accounting (nonzero only for pipeline rounds run with
+    # metrics enabled; see repro.mpc.shm).  ``payload_bytes`` is the
+    # *physical* pickle size of the round's payloads — what actually
+    # crosses the executor's process boundary — and
+    # ``payload_bytes_avoided`` the bytes of array data referenced by
+    # shared-memory descriptors instead of being copied into payloads.
+    # Both are transport bytes, deliberately separate from the logical
+    # word fields above (the MPC model prices words; the data plane only
+    # changes the physics).
+    payload_bytes: int = 0
+    payload_bytes_avoided: int = 0
     # Recovery accounting (nonzero only under a fault plan; see
     # repro.mpc.retry.ResilientSimulator).  ``attempts`` is the number of
     # execution waves the round needed (1 = no failures);
@@ -237,6 +248,23 @@ class RunStats:
         return any(r.shuffle_words or r.shuffle_work or r.broadcast_words
                    for r in self.rounds)
 
+    # -- data-plane aggregates (nonzero only when byte accounting ran) --
+    @property
+    def payload_bytes(self) -> int:
+        """Physical payload bytes pickled across all rounds."""
+        return sum(r.payload_bytes for r in self.rounds)
+
+    @property
+    def payload_bytes_avoided(self) -> int:
+        """Bytes referenced via shared-memory descriptors, not copied."""
+        return sum(r.payload_bytes_avoided for r in self.rounds)
+
+    @property
+    def data_plane_active(self) -> bool:
+        """True when any round recorded physical payload-byte traffic."""
+        return any(r.payload_bytes or r.payload_bytes_avoided
+                   for r in self.rounds)
+
     @property
     def wall_seconds(self) -> float:
         """Wall-clock time spent executing rounds."""
@@ -305,6 +333,8 @@ class RunStats:
             combined.broadcast_words = r.broadcast_words
             combined.shuffle_words = r.shuffle_words
             combined.shuffle_work = r.shuffle_work
+            combined.payload_bytes = r.payload_bytes
+            combined.payload_bytes_avoided = r.payload_bytes_avoided
             combined.attempts = r.attempts
             combined.retried_machines = r.retried_machines
             combined.dropped_machines = r.dropped_machines
@@ -330,6 +360,9 @@ class RunStats:
                                                o.broadcast_words)
                 combined.shuffle_words += o.shuffle_words
                 combined.shuffle_work += o.shuffle_work
+                # Physical transport volumes, like shuffle traffic (sum).
+                combined.payload_bytes += o.payload_bytes
+                combined.payload_bytes_avoided += o.payload_bytes_avoided
                 # Concurrent siblings: retry waves overlap (max), while
                 # per-machine recovery counts and wasted work add up.
                 combined.attempts = max(combined.attempts, o.attempts)
@@ -370,6 +403,11 @@ class RunStats:
             out.update({
                 "shuffle_words": self.shuffle_words,
                 "broadcast_words": self.broadcast_words,
+            })
+        if self.data_plane_active:
+            out.update({
+                "data_plane_bytes_shipped": self.payload_bytes,
+                "data_plane_bytes_avoided": self.payload_bytes_avoided,
             })
         if self.recovery_active:
             out.update({

@@ -26,7 +26,8 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import pickle
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
 
 from .machine import Broadcast, MachineResult, MachineTask, execute_task
 
@@ -72,8 +73,12 @@ class SerialExecutor(Executor):
 # deserialises a given token at most once and caches the value for the
 # round's remaining tasks (and any retry waves).
 
-#: token -> deserialised broadcast dict, per worker process.
-_worker_broadcast_cache: Dict[int, dict] = {}
+#: token -> deserialised broadcast dict, per worker process.  A true LRU:
+#: every cache hit refreshes the token's recency, so the round currently
+#: executing can never be evicted by unrelated rounds churning the cache
+#: — eviction removes the least-recently-*used* token, deterministically
+#: oldest-first among untouched entries.
+_worker_broadcast_cache: "OrderedDict[int, dict]" = OrderedDict()
 _WORKER_CACHE_LIMIT = 4
 
 
@@ -82,8 +87,10 @@ def _resolve_broadcast(token: int, data: bytes) -> dict:
     if value is None:
         value = pickle.loads(data)
         while len(_worker_broadcast_cache) >= _WORKER_CACHE_LIMIT:
-            _worker_broadcast_cache.pop(next(iter(_worker_broadcast_cache)))
+            _worker_broadcast_cache.popitem(last=False)
         _worker_broadcast_cache[token] = value
+    else:
+        _worker_broadcast_cache.move_to_end(token)
     return value
 
 
@@ -104,7 +111,11 @@ class ProcessPoolExecutor(Executor):
         Number of worker processes.  Defaults to ``os.cpu_count()``.
     chunksize:
         Tasks per pickled batch; larger values amortise IPC overhead for
-        many small machines.
+        many small machines.  ``None`` (the default) derives the batch
+        size from the round: ``max(1, n_tasks // (4 * max_workers))`` —
+        about four batches per worker, enough slack for work stealing
+        while many-small-machine rounds stop paying per-task IPC.  An
+        explicit value stays authoritative for every round.
 
     Pool lifecycle is explicit: workers are spawned lazily on the first
     non-empty :meth:`run`, released by :meth:`close` (or leaving the
@@ -119,10 +130,16 @@ class ProcessPoolExecutor(Executor):
     """
 
     def __init__(self, max_workers: int | None = None,
-                 chunksize: int = 4) -> None:
+                 chunksize: int | None = None) -> None:
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self.chunksize = chunksize
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    def effective_chunksize(self, n_tasks: int) -> int:
+        """The batch size used for a round of *n_tasks* machines."""
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, n_tasks // (4 * self.max_workers))
 
     @property
     def running(self) -> bool:
@@ -142,7 +159,8 @@ class ProcessPoolExecutor(Executor):
         pool = self._ensure_pool()
         if broadcast is None:
             return list(pool.map(execute_task, tasks,
-                                 chunksize=self.chunksize))
+                                 chunksize=self.effective_chunksize(
+                                     len(tasks))))
         # Broadcast round: ship the blob once per *batch* and cut the
         # round into at most ``max_workers`` batches, so the serialised
         # bytes cross the process boundary at most once per worker (the

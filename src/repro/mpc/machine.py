@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from .accounting import WorkMeter, isolated_meters
+from .shm import resolve_payload
 
 __all__ = ["Broadcast", "MachineTask", "MachineResult", "execute_task",
            "merge_broadcast"]
@@ -128,9 +129,15 @@ def execute_task(task: MachineTask,
 
     This function is the process-pool entry point, so it must stay
     top-level and picklable.
+
+    Data-plane descriptors (:class:`repro.mpc.shm.SharedSlice`) inside
+    the payload are resolved into numpy views *here*, in the executing
+    process — the single choke point shared by the serial, process-pool
+    and fault-injecting executors — and outside the work meter, because
+    resolution is transport, not machine compute.
     """
     start = time.perf_counter()
-    payload = merge_broadcast(task.payload, broadcast)
+    payload = merge_broadcast(resolve_payload(task.payload), broadcast)
     with isolated_meters(), WorkMeter() as meter:
         output = task.fn(payload)
     return MachineResult(output=output, work=meter.total,

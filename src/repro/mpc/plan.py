@@ -62,6 +62,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..metrics import get_registry
 from .accounting import WorkMeter
+from .shm import payload_byte_stats
 from .simulator import MPCSimulator
 from .sizeof import sizeof
 from .telemetry import Span
@@ -150,16 +151,28 @@ class Pipeline:
         outputs = self.sim.run_round(spec.name, spec.fn, payloads,
                                      allow_empty=spec.allow_empty,
                                      broadcast=broadcast)
+        # run_round appended the round's stats last — also true for the
+        # resilient subclass — so the ledger row is still addressable.
+        round_stats = self.sim.stats.rounds[-1]
+        if reg.enabled:
+            # Physical transport accounting: the pickle cost of this
+            # round's payloads and the bytes the data-plane descriptors
+            # referenced without copying.  Gated on metrics because the
+            # extra pickling pass is pure measurement overhead.
+            shipped, avoided = payload_byte_stats(payloads)
+            round_stats.payload_bytes = shipped
+            round_stats.payload_bytes_avoided = avoided
+            reg.counter("data_plane.bytes_shipped",
+                        round=spec.name).inc(shipped)
+            reg.counter("data_plane.bytes_avoided",
+                        round=spec.name).inc(avoided)
         if spec.collector is None:
             return outputs
         collect_start = time.perf_counter()
         with WorkMeter() as meter:
             next_state = spec.collector(outputs, state)
         collect_end = time.perf_counter()
-        # Charge the shuffle to the round that produced it.  run_round
-        # appended the round's stats last — also true for the resilient
-        # subclass — so the ledger row is still addressable here.
-        round_stats = self.sim.stats.rounds[-1]
+        # Charge the shuffle to the round that produced it.
         shuffle_words = sizeof(next_state)
         round_stats.shuffle_work += meter.total
         round_stats.shuffle_words += shuffle_words

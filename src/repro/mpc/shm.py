@@ -1,0 +1,369 @@
+"""Zero-copy data plane: shared-memory segments + slice descriptors.
+
+Every round of the paper's algorithms ships ``Õ(n)`` words of substring
+payloads to machines, and all of those payloads are *slices of immutable
+arrays* the driver already holds (the input strings, the Ulam position
+table).  The executor used to realise that by pickling a copy of every
+slice into every task; this module replaces the copies with a zero-copy
+data plane:
+
+* a :class:`DataPlane` publishes each immutable array **once** into a
+  ``multiprocessing.shared_memory`` segment (one copy, at publish time);
+* payload dicts carry :class:`SharedSlice` descriptors —
+  ``(segment, dtype, offset, length)``, a few dozen pickled bytes — in
+  place of the array slices;
+* :func:`resolve_payload`, called by
+  :func:`repro.mpc.machine.execute_task` inside the executing process,
+  turns descriptors back into numpy views.  In the publishing process
+  (serial executor, and fork-inherited workers) the view aliases the
+  original array — no copy, no syscall; in a worker that does not hold
+  the array, the segment is attached once and cached (LRU), and every
+  subsequent slice of it is a view into the mapped buffer.
+
+Accounting is unchanged by design: ``SharedSlice.__mpc_size__`` returns
+the *logical* word count of the slice it stands for — identical to
+``sizeof`` of the replaced ``ndarray`` — because the MPC model prices
+logical words, not transport bytes.  The physical win is measured
+separately by :func:`payload_byte_stats` (pickled bytes actually shipped
+vs. bytes the descriptors avoided), which the plan layer records per
+round when metrics are enabled.
+
+Lifecycle: segments are reference-counted (:meth:`DataPlane.retain` /
+:meth:`DataPlane.release`; the publish itself holds one reference) and
+unlinked when the count reaches zero — at the latest in
+:meth:`DataPlane.close`, which drivers call in a ``finally`` so no
+segment outlives its run under any executor, retry wave, or mid-round
+worker crash.  :func:`active_segments` enumerates the names this process
+has created and not yet unlinked, so tests can assert zero leaks.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .telemetry import Span, Tracer
+
+__all__ = ["SharedSlice", "DataPlane", "resolve_payload",
+           "payload_byte_stats", "active_segments", "detach_segments"]
+
+
+@dataclass(frozen=True)
+class SharedSlice:
+    """Descriptor for a slice of a published array.
+
+    Picklable and tiny: shipping one of these costs O(descriptor) bytes
+    regardless of ``length``.  ``offset`` and ``length`` are in elements
+    of ``dtype``, not bytes.
+
+    ``words``, when set, overrides the descriptor's logical word charge.
+    It is for descriptors standing in for a *packed encoding* of a
+    structured object (e.g. candidate tuples flattened to one int64
+    array): the ledger must keep charging the replaced object's own
+    ``sizeof``, which the element count of the packed array understates.
+    """
+
+    segment: str
+    dtype: str
+    offset: int
+    length: int
+    words: Optional[int] = None
+
+    def __len__(self) -> int:
+        """Element count, like ``len()`` of the array it stands for."""
+        return self.length
+
+    def __mpc_size__(self) -> int:
+        """Logical MPC words of the object this descriptor stands for.
+
+        Matches ``sizeof`` of the replaced object exactly — ``max(size,
+        1)`` for a plain ``ndarray`` slice, the explicit ``words``
+        override for packed encodings — so porting a payload to
+        descriptors leaves every ledger byte-identical.
+        """
+        if self.words is not None:
+            return self.words
+        return max(self.length, 1)
+
+    @property
+    def nbytes(self) -> int:
+        """Physical bytes of the referenced data (the avoided copy)."""
+        return self.length * np.dtype(self.dtype).itemsize
+
+
+# ---------------------------------------------------------------------------
+# Process-local segment tables.
+#
+# ``_local_arrays`` maps segment name -> the original published array in
+# the *publishing* process; resolution there (serial executor, driver-side
+# collectors) returns views of the original with zero copies and zero
+# syscalls.  Worker processes forked after a publish inherit the table
+# and get the same zero-copy path through the fork's COW pages; workers
+# that pre-date a publish miss the table and attach the segment instead.
+
+_local_arrays: Dict[str, np.ndarray] = {}
+
+#: Names of segments created (and not yet unlinked) by this process.
+_created_segments: set = set()
+
+#: Worker-side attachments: segment name -> (SharedMemory, full view).
+#: Bounded LRU — an attach is a syscall + mmap, so the hot segments of
+#: the current round stay mapped while long-gone rounds' mappings are
+#: reclaimed deterministically (oldest first).
+_ATTACH_CACHE_LIMIT = 8
+_attach_cache: "OrderedDict[str, Tuple[shared_memory.SharedMemory, np.ndarray]]" = OrderedDict()
+
+
+def active_segments() -> frozenset:
+    """Names of shared-memory segments this process has not yet unlinked.
+
+    Empty after every well-behaved run: drivers close their
+    :class:`DataPlane` in a ``finally``, so a nonempty result in a test
+    means a leak.
+    """
+    return frozenset(_created_segments)
+
+
+def _evict_attachment(name: str,
+                      entry: Tuple[shared_memory.SharedMemory, np.ndarray]
+                      ) -> None:
+    shm, arr = entry
+    del arr
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - a live view still holds it
+        # A resolved view from this segment is still alive in the caller;
+        # dropping the cache entry is enough (the mapping dies with the
+        # last view), and close() would invalidate that view under it.
+        pass
+
+
+def detach_segments() -> None:
+    """Drop this process's cached segment attachments.
+
+    Only the *mappings* are released — the segments themselves belong to
+    their publisher and are unlinked by :meth:`DataPlane.close`.  Called
+    automatically at interpreter exit so worker processes never leak
+    mappings past pool shutdown.
+    """
+    while _attach_cache:
+        name, entry = _attach_cache.popitem(last=False)
+        _evict_attachment(name, entry)
+
+
+atexit.register(detach_segments)
+
+
+def _attached_array(name: str, dtype: str) -> np.ndarray:
+    """The full array view of segment *name*, attaching and caching it."""
+    entry = _attach_cache.get(name)
+    if entry is not None:
+        _attach_cache.move_to_end(name)
+        return entry[1]
+    shm = shared_memory.SharedMemory(name=name)
+    dt = np.dtype(dtype)
+    arr = np.ndarray((shm.size // dt.itemsize,), dtype=dt, buffer=shm.buf)
+    while len(_attach_cache) >= _ATTACH_CACHE_LIMIT:
+        old_name, old_entry = _attach_cache.popitem(last=False)
+        _evict_attachment(old_name, old_entry)
+    _attach_cache[name] = (shm, arr)
+    return arr
+
+
+def _resolve_slice(ref: SharedSlice) -> np.ndarray:
+    base = _local_arrays.get(ref.segment)
+    if base is None:
+        base = _attached_array(ref.segment, ref.dtype)
+    return base[ref.offset:ref.offset + ref.length]
+
+
+def resolve_payload(obj: Any) -> Any:
+    """Replace every :class:`SharedSlice` in *obj* with its numpy view.
+
+    Walks dicts/lists/tuples recursively; containers without descriptors
+    are returned unchanged (same object), so descriptor-free payloads —
+    every algorithm that does not use the data plane — pay only the walk,
+    never a rebuild.
+    """
+    if isinstance(obj, SharedSlice):
+        return _resolve_slice(obj)
+    if isinstance(obj, dict):
+        out = None
+        for k, v in obj.items():
+            r = resolve_payload(v)
+            if r is not v and out is None:
+                out = dict(obj)
+            if out is not None:
+                out[k] = r
+        return obj if out is None else out
+    if isinstance(obj, (list, tuple)):
+        resolved = [resolve_payload(v) for v in obj]
+        if all(r is v for r, v in zip(resolved, obj)):
+            return obj
+        return tuple(resolved) if isinstance(obj, tuple) else resolved
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Physical-byte accounting (the quantity the data plane shrinks).
+
+
+def _avoided_bytes(obj: Any) -> int:
+    if isinstance(obj, SharedSlice):
+        return obj.nbytes
+    if isinstance(obj, dict):
+        return sum(_avoided_bytes(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return sum(_avoided_bytes(v) for v in obj)
+    return 0
+
+
+def payload_byte_stats(payloads) -> Tuple[int, int]:
+    """``(bytes_shipped, bytes_avoided)`` for one round's payloads.
+
+    ``bytes_shipped`` is the physical pickle size of the payloads — what
+    actually crosses the process boundary per task; ``bytes_avoided`` the
+    size of the array data the descriptors reference without carrying.
+    A copy-payload round has ``avoided == 0``; a descriptor round ships
+    descriptors and avoids the slices.
+    """
+    shipped = 0
+    avoided = 0
+    for payload in payloads:
+        shipped += len(pickle.dumps(payload,
+                                    protocol=pickle.HIGHEST_PROTOCOL))
+        avoided += _avoided_bytes(payload)
+    return shipped, avoided
+
+
+# ---------------------------------------------------------------------------
+# Publisher.
+
+
+class _Segment:
+    __slots__ = ("key", "shm", "dtype", "length", "refs")
+
+    def __init__(self, key: str, shm: shared_memory.SharedMemory,
+                 dtype: str, length: int) -> None:
+        self.key = key
+        self.shm = shm
+        self.dtype = dtype
+        self.length = length
+        self.refs = 1
+
+
+class DataPlane:
+    """Publish immutable 1-D arrays once; hand out slice descriptors.
+
+    One plane per run is the intended granularity: the driver publishes
+    the run's immutable arrays (input strings, position tables) before
+    its first round, partitioners call :meth:`slice` instead of slicing
+    the arrays, and the driver closes the plane in a ``finally``.
+    Segments are reference-counted — :meth:`publish` holds one
+    reference, :meth:`retain`/:meth:`release` let nested phases pin a
+    segment across their rounds — and unlinked when the count drops to
+    zero (at the latest in :meth:`close`).
+
+    With *tracer* set, every publish emits a ``"publish"`` span
+    (``output_words`` = array length) so traces show the one-time copy
+    the round-time shipping no longer pays.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self._tracer = tracer
+        self._segments: Dict[str, _Segment] = {}
+        self._closed = False
+
+    # -- publishing ----------------------------------------------------
+    def publish(self, key: str, array: np.ndarray) -> SharedSlice:
+        """Copy *array* into a fresh segment; return its full descriptor."""
+        if self._closed:
+            raise ValueError("DataPlane is closed")
+        if key in self._segments:
+            raise ValueError(f"key {key!r} already published")
+        arr = np.ascontiguousarray(array)
+        if arr.ndim != 1:
+            raise ValueError("the data plane publishes 1-D arrays only, "
+                             f"got shape {arr.shape}")
+        start = time.perf_counter()
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=max(arr.nbytes, 1))
+        if arr.nbytes:
+            staging = np.ndarray(arr.shape, arr.dtype, buffer=shm.buf)
+            staging[:] = arr
+            del staging             # keep shm.buf export-free for close()
+        seg = _Segment(key, shm, str(arr.dtype), len(arr))
+        self._segments[key] = seg
+        _created_segments.add(shm.name)
+        _local_arrays[shm.name] = arr
+        if self._tracer is not None:
+            self._tracer.emit(Span(
+                kind="publish", name=f"data-plane/{key}",
+                worker=os.getpid(), start=start, end=time.perf_counter(),
+                output_words=len(arr)))
+        return SharedSlice(shm.name, seg.dtype, 0, seg.length)
+
+    def slice(self, key: str, lo: int, hi: int,
+              words: Optional[int] = None) -> SharedSlice:
+        """Descriptor for elements ``[lo, hi)`` of the published *key*.
+
+        *words* optionally pins the descriptor's logical word charge
+        (see :class:`SharedSlice`); default: the element count.
+        """
+        seg = self._segments.get(key)
+        if seg is None:
+            raise KeyError(f"no published array under key {key!r}")
+        if not 0 <= lo <= hi <= seg.length:
+            raise ValueError(
+                f"slice [{lo}, {hi}) out of bounds for {key!r} "
+                f"(length {seg.length})")
+        return SharedSlice(seg.shm.name, seg.dtype, lo, hi - lo,
+                           words=words)
+
+    # -- lifecycle -----------------------------------------------------
+    def retain(self, key: str) -> None:
+        """Add a reference to *key*'s segment (paired with release())."""
+        self._segments[key].refs += 1
+
+    def release(self, key: str) -> None:
+        """Drop a reference; unlink the segment on the last one."""
+        seg = self._segments[key]
+        seg.refs -= 1
+        if seg.refs <= 0:
+            self._unlink(key)
+
+    def _unlink(self, key: str) -> None:
+        seg = self._segments.pop(key)
+        name = seg.shm.name
+        _local_arrays.pop(name, None)
+        _created_segments.discard(name)
+        seg.shm.close()
+        seg.shm.unlink()
+
+    def close(self) -> None:
+        """Unlink every remaining segment.  Idempotent.
+
+        Forcing the unlink (rather than just dropping the publish
+        reference) is deliberate: close() runs in the driver's
+        ``finally``, after which no retry wave can need the data, so a
+        leaked retain must not turn into a leaked segment.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for key in list(self._segments):
+            self._unlink(key)
+
+    def __enter__(self) -> "DataPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

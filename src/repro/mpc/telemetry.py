@@ -16,6 +16,8 @@ interval ``[start, end)``:
 
 ===============  ============================================================
 ``kind``         ``"machine"`` | ``"round"`` | ``"collect"`` | ``"run"``
+                 | ``"publish"`` (one-time data-plane segment copy;
+                 ``output_words`` = published array length)
 ``name``         round name (or run label for ``"run"`` spans)
 ``machine``      machine index within the round; ``-1`` for non-machine spans
 ``attempt``      1-based execution attempt (retries increment it)
@@ -62,9 +64,9 @@ from typing import IO, Iterator, List, Optional, Sequence, Union
 __all__ = ["Span", "Sink", "InMemorySink", "JsonlSink", "Tracer",
            "read_jsonl", "export_chrome_trace"]
 
-#: Span kinds, in nesting order (a run contains rounds, a round contains
-#: machine attempts and at most one collect span).
-SPAN_KINDS = ("run", "round", "machine", "collect")
+#: Span kinds, in nesting order (a run contains publishes and rounds, a
+#: round contains machine attempts and at most one collect span).
+SPAN_KINDS = ("run", "round", "machine", "collect", "publish")
 
 
 @dataclass

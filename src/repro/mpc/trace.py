@@ -42,6 +42,8 @@ _FIELD_TYPES: Dict[str, type] = {
     "broadcast_words": int,
     "shuffle_words": int,
     "shuffle_work": int,
+    "payload_bytes": int,
+    "payload_bytes_avoided": int,
     "attempts": int,
     "retried_machines": int,
     "dropped_machines": int,

@@ -41,8 +41,13 @@ SCHEMA_VERSION = 1
 DEFAULT_HISTORY_PATH = os.path.join(".repro", "history.jsonl")
 
 #: Summary fields gated by :func:`compare_records` (higher = worse).
+#: ``data_plane_bytes_shipped`` is the physical payload-pickle volume
+#: (deterministic for a fixed seed, like the word counts); records
+#: predating the data plane simply lack the field and are not gated on
+#: it (compare_records skips metrics absent from either side).
 GATED_METRICS = ("total_work", "parallel_work",
-                 "total_communication_words", "max_memory_words")
+                 "total_communication_words", "max_memory_words",
+                 "data_plane_bytes_shipped")
 
 #: Relative headroom a fresh run gets over the baseline before the
 #: comparison counts as a regression.  Abstract work and word counts are

@@ -37,11 +37,13 @@ def levenshtein_banded(a: StringLike, b: StringLike,
     """
     if k < 0:
         raise ValueError("threshold k must be non-negative")
-    A, B = as_array(a), as_array(b)
-    m, n = len(A), len(B)
-    if abs(m - n) > k:
+    if abs(len(a) - len(b)) > k:
+        # |m - n| lower-bounds the distance: certify failure before even
+        # converting the inputs (the common case in threshold cascades).
         add_work(1)
         return None
+    A, B = as_array(a), as_array(b)
+    m, n = len(A), len(B)
     if m == 0:
         return n if n <= k else None
     if n == 0:
@@ -104,5 +106,15 @@ def levenshtein_doubling(a: StringLike, b: StringLike,
 
 
 def within_threshold(a: StringLike, b: StringLike, tau: int) -> bool:
-    """Decide ``ed(a, b) ≤ tau`` in ``O(tau·min(m, n))`` work."""
+    """Decide ``ed(a, b) ≤ tau`` in ``O(tau·min(m, n))`` work.
+
+    A length difference beyond ``tau`` certifies ``False`` in ``O(1)``
+    (no conversion, no band) — every edit changes the length by at most
+    one, so ``|len(a) - len(b)|`` lower-bounds the distance.
+    """
+    if tau < 0:
+        raise ValueError("threshold tau must be non-negative")
+    if abs(len(a) - len(b)) > tau:
+        add_work(1)
+        return False
     return levenshtein_banded(a, b, tau) is not None

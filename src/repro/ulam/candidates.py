@@ -26,6 +26,8 @@ import numpy as np
 
 from ..metrics import get_registry
 from ..mpc.accounting import add_work
+from ..mpc.distcache import distance_cache
+from ..mpc.shm import SharedSlice
 from ..strings.ulam import local_ulam_from_matches, ulam_auto
 from .config import UlamConfig
 
@@ -69,12 +71,16 @@ def make_block_part(lo: int, hi: int, positions: np.ndarray,
     """The block-specific half of the round-1 payload.
 
     ``positions[j]`` is the index of ``s[lo + j]`` inside ``s̄`` or ``-1``
-    if absent.
+    if absent — either the array itself or a data-plane
+    :class:`~repro.mpc.shm.SharedSlice` standing for it (resolved back
+    into the array inside the executing machine).
     """
+    if not isinstance(positions, SharedSlice):
+        positions = np.asarray(positions, dtype=np.int64)
     return {
         "lo": int(lo),
         "hi": int(hi),
-        "positions": np.asarray(positions, dtype=np.int64),
+        "positions": positions,
         "seed": int(seed),
     }
 
@@ -181,12 +187,22 @@ def run_block_machine(payload: BlockPayload) -> List[CandidateTuple]:
     _M_PER_BLOCK.observe(len(wanted))
     order = np.argsort(p_pts, kind="stable")
     p_sorted = p_pts[order]
+    cache = distance_cache()
     tuples: List[CandidateTuple] = []
     for sp, ep in wanted:
         lo_idx = int(np.searchsorted(p_sorted, sp, side="left"))
         hi_idx = int(np.searchsorted(p_sorted, ep, side="left"))
         sel = np.sort(order[lo_idx:hi_idx])  # back to i-sorted order
-        d = ulam_auto(i_pts[sel], p_pts[sel] - sp, B, ep - sp)
+        i_sel = i_pts[sel]
+        p_rel = p_pts[sel] - sp
+        if cache is None:
+            d = ulam_auto(i_sel, p_rel, B, ep - sp)
+        else:
+            key = ("ulam", i_sel.tobytes(), p_rel.tobytes(), B, ep - sp)
+            d = cache.lookup(key)
+            if d is None:
+                d = ulam_auto(i_sel, p_rel, B, ep - sp)
+                cache.store(key, int(d))
         tuples.append((lo, hi, int(sp), int(ep), int(d)))
 
     top_k = payload["top_k"]

@@ -94,8 +94,15 @@ def combine_tuples(tuples: Sequence[CandidateTuple], n_s: int, n_t: int,
 
 
 def run_combine_machine(payload: Dict[str, object]) -> int:
-    """Phase-2 machine entry point (single machine, all tuples)."""
-    tuples: List[CandidateTuple] = payload["tuples"]  # type: ignore
+    """Phase-2 machine entry point (single machine, all tuples).
+
+    ``tuples`` arrives either as the tuple list itself or — under the
+    data plane — as the resolved view of its packed int64 encoding
+    (five words per tuple, row-major).
+    """
+    tuples = payload["tuples"]
+    if isinstance(tuples, np.ndarray):
+        tuples = [tuple(row) for row in tuples.reshape(-1, 5).tolist()]
     return combine_tuples(tuples, int(payload["n_s"]),
                           int(payload["n_t"]),
                           mode=str(payload.get("mode", "max")))

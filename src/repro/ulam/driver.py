@@ -26,7 +26,9 @@ import numpy as np
 from ..metrics import MetricsRegistry, get_registry
 from ..mpc.accounting import RunStats
 from ..mpc.plan import Pipeline, RoundSpec
+from ..mpc.shm import DataPlane
 from ..mpc.simulator import MPCSimulator
+from ..mpc.sizeof import sizeof
 from ..params import UlamParams
 from ..strings.ulam import check_duplicate_free
 from .candidates import (CandidateTuple, make_block_part,
@@ -58,10 +60,10 @@ class UlamResult:
         return out
 
 
-def _positions_of_block(block: np.ndarray, pos_t: Dict[int, int]
-                        ) -> np.ndarray:
-    out = np.full(len(block), -1, dtype=np.int64)
-    for j, v in enumerate(block.tolist()):
+def _positions_in_t(S: np.ndarray, pos_t: Dict[int, int]) -> np.ndarray:
+    """``out[j]`` = index of ``S[j]`` inside ``t``, or ``-1`` if absent."""
+    out = np.full(len(S), -1, dtype=np.int64)
+    for j, v in enumerate(S.tolist()):
         p = pos_t.get(v)
         if p is not None:
             out[j] = p
@@ -72,7 +74,8 @@ def mpc_ulam(s, t, x: float = 0.25, eps: float = 0.5,
              sim: Optional[MPCSimulator] = None,
              config: Optional[UlamConfig] = None,
              seed: int = 0,
-             keep_tuples: bool = False) -> UlamResult:
+             keep_tuples: bool = False,
+             data_plane: bool = True) -> UlamResult:
     """Approximate ``ulam(s, t)`` with the paper's 2-round MPC algorithm.
 
     Parameters
@@ -103,6 +106,13 @@ def mpc_ulam(s, t, x: float = 0.25, eps: float = 0.5,
         reproducible under any executor.
     keep_tuples:
         Also return the round-1 tuples (used by diagnostics benchmarks).
+    data_plane:
+        Publish the position table once into a shared-memory segment and
+        ship per-block :class:`~repro.mpc.shm.SharedSlice` descriptors
+        instead of array copies (default).  Ledgers are byte-identical
+        either way — descriptors charge the logical word count of the
+        slice they stand for; only the physical pickle bytes change.
+        ``False`` restores copy-payloads (the E22 A/B baseline).
 
     Returns
     -------
@@ -141,29 +151,53 @@ def mpc_ulam(s, t, x: float = 0.25, eps: float = 0.5,
 
     B = params.block_size
     u_guesses = params.u_guesses()
-    payloads = []
-    for bi, lo in enumerate(range(0, n, B)):
-        hi = min(lo + B, n)
-        block = S[lo:hi]
-        payloads.append(make_block_part(
-            lo, hi, _positions_of_block(block, pos_t),
-            seed * (1 << 20) + bi))
+    pos_all = _positions_in_t(S, pos_t)
+    plane = DataPlane(tracer=sim.tracer) if data_plane else None
+    try:
+        if plane is not None:
+            plane.publish("positions", pos_all)
+        payloads = []
+        for bi, lo in enumerate(range(0, n, B)):
+            hi = min(lo + B, n)
+            positions = (plane.slice("positions", lo, hi)
+                         if plane is not None else pos_all[lo:hi])
+            payloads.append(make_block_part(
+                lo, hi, positions, seed * (1 << 20) + bi))
 
-    # A ResilientSimulator in drop mode leaves None at dropped machines'
-    # positions; their candidates are simply pruned by the collector.
-    tuples: List[CandidateTuple] = Pipeline(sim).round(RoundSpec(
-        "ulam/1-candidates", run_block_machine,
-        partitioner=lambda _: payloads,
-        broadcast=make_round1_broadcast(len(T), params.eps_prime, u_guesses,
-                                        params.hitting_rate, config),
-        collector=lambda outs, _: [tup for out in outs
-                                   if out is not None for tup in out]))
+        # A ResilientSimulator in drop mode leaves None at dropped
+        # machines' positions; their candidates are simply pruned by the
+        # collector.
+        tuples: List[CandidateTuple] = Pipeline(sim).round(RoundSpec(
+            "ulam/1-candidates", run_block_machine,
+            partitioner=lambda _: payloads,
+            broadcast=make_round1_broadcast(len(T), params.eps_prime,
+                                            u_guesses,
+                                            params.hitting_rate, config),
+            collector=lambda outs, _: [tup for out in outs
+                                       if out is not None for tup in out]))
 
-    answer = Pipeline(sim).round(RoundSpec(
-        "ulam/2-combine", run_combine_machine,
-        partitioner=lambda tups: [{"tuples": tups, "n_s": n,
-                                   "n_t": len(T), "mode": "max"}],
-        collector=lambda outs, _: outs[0]), tuples)
+        if plane is not None:
+            # Round 2 ships the whole tuple state to one machine; pack it
+            # into a segment so the payload is a descriptor too.  The
+            # ``words`` override keeps the ledger charging the tuple
+            # list's own sizeof (the packed element count understates it).
+            packed = np.asarray([v for tup in tuples for v in tup],
+                                dtype=np.int64)
+            plane.publish("tuples", packed)
+            tuples_part: object = plane.slice("tuples", 0, len(packed),
+                                              words=sizeof(tuples))
+        else:
+            tuples_part = tuples
+        answer = Pipeline(sim).round(RoundSpec(
+            "ulam/2-combine", run_combine_machine,
+            partitioner=lambda tups: [{"tuples": tuples_part, "n_s": n,
+                                       "n_t": len(T), "mode": "max"}],
+            collector=lambda outs, _: outs[0]), tuples)
+    finally:
+        # Segments must not outlive the run under any exit path —
+        # memory-cap violations, chaos-exhausted retries, KeyboardInterrupt.
+        if plane is not None:
+            plane.close()
     distance = min(int(answer), max(n, len(T)))
 
     stats = sim.stats.snapshot()

@@ -107,3 +107,26 @@ def test_checker_flags_metrics_mutation_in_benchmarks(tmp_path):
     proc = _check(tmp_path)
     assert proc.returncode == 1
     assert "bench_rogue.py:1" in proc.stdout
+
+
+def test_checker_flags_raw_shared_memory_outside_mpc(tmp_path):
+    bad = tmp_path / "src" / "repro" / "ulam"
+    bad.mkdir(parents=True)
+    (bad / "rogue.py").write_text(
+        "from multiprocessing import shared_memory\n"
+        "seg = shared_memory.SharedMemory(create=True, size=8)\n")
+    proc = _check(tmp_path)
+    assert proc.returncode == 1
+    assert "rogue.py:1" in proc.stdout
+    assert "rogue.py:2" in proc.stdout
+    assert "DataPlane" in proc.stdout            # the fix hint
+
+
+def test_checker_allows_shared_memory_in_mpc_package(tmp_path):
+    mpc = tmp_path / "src" / "repro" / "mpc"
+    mpc.mkdir(parents=True)
+    (mpc / "shm.py").write_text(
+        "from multiprocessing import shared_memory\n"
+        "seg = shared_memory.SharedMemory(create=True, size=8)\n")
+    proc = _check(tmp_path)
+    assert proc.returncode == 0, proc.stdout

@@ -1,0 +1,119 @@
+"""Unit and integration tests for the distance cache.
+
+The cache is opt-in: the library default (off) keeps every ledger
+cache-free (the golden fixtures pin those numbers); enabling it must
+change *only* wall time, never answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import mpc_edit_distance, mpc_ulam
+from repro.mpc import (DistanceCache, disable_distance_cache,
+                       distance_cache, enable_distance_cache)
+from repro.mpc.distcache import cached_distance, pair_key
+from repro.workloads.permutations import planted_pair as perm_pair
+from repro.workloads.strings import planted_pair as str_pair
+
+
+@pytest.fixture(autouse=True)
+def _cache_isolation():
+    yield
+    disable_distance_cache()
+
+
+class TestDistanceCacheUnit:
+    def test_lru_eviction_order(self):
+        cache = DistanceCache(capacity=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert cache.lookup("a") == 1   # refresh "a"
+        cache.store("c", 3)             # evicts "b", not "a"
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") == 1
+        assert cache.lookup("c") == 3
+
+    def test_hit_miss_counters(self):
+        cache = DistanceCache()
+        assert cache.lookup("k") is None
+        cache.store("k", 9)
+        assert cache.lookup("k") == 9
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_store_existing_key_updates_in_place(self):
+        cache = DistanceCache(capacity=2)
+        cache.store("a", 1)
+        cache.store("a", 5)
+        assert len(cache) == 1
+        assert cache.lookup("a") == 5
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DistanceCache(capacity=0)
+
+    def test_enable_disable_cycle(self):
+        assert distance_cache() is None
+        cache = enable_distance_cache(capacity=8)
+        assert distance_cache() is cache
+        disable_distance_cache()
+        assert distance_cache() is None
+
+    def test_cached_distance_memoises_only_when_enabled(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cached_distance("k", compute) == 42
+        assert cached_distance("k", compute) == 42
+        assert len(calls) == 2          # disabled: every call computes
+        enable_distance_cache()
+        assert cached_distance("k", compute) == 42
+        assert cached_distance("k", compute) == 42
+        assert len(calls) == 3          # second call was a hit
+
+    def test_pair_key_separates_solvers_and_content(self):
+        a, b = np.arange(4), np.arange(4)
+        assert pair_key("t", a, b, "cgks", 0.5) \
+            == pair_key("t", a.copy(), b.copy(), "cgks", 0.5)
+        assert pair_key("t", a, b, "cgks", 0.5) \
+            != pair_key("t", a, b, "exact", 0.5)
+        assert pair_key("t", a, b) != pair_key("u", a, b)
+
+
+class TestDriverIntegration:
+    def test_edit_small_regime_hits_and_identical_answer(self):
+        s, t, _ = str_pair(128, 8, sigma=4, seed=0)
+        baseline = mpc_edit_distance(s, t, seed=0)
+        cache = enable_distance_cache()
+        first = mpc_edit_distance(s, t, seed=0)
+        second = mpc_edit_distance(s, t, seed=0)
+        assert cache.hits > 0
+        assert first.distance == baseline.distance
+        assert second.distance == baseline.distance
+
+    def test_ulam_hits_and_identical_answer(self):
+        s, t, _ = perm_pair(256, 16, seed=0, style="mixed")
+        baseline = mpc_ulam(s, t, seed=0)
+        cache = enable_distance_cache()
+        first = mpc_ulam(s, t, seed=0)
+        second = mpc_ulam(s, t, seed=0)
+        assert cache.hits > 0           # identical run: every key recurs
+        assert first.distance == baseline.distance
+        assert second.distance == baseline.distance
+
+    def test_metrics_mirror_cache_counters(self):
+        from repro.metrics import enabled, get_registry
+        s, t, _ = str_pair(128, 8, sigma=4, seed=0)
+        cache = enable_distance_cache()
+        with enabled():
+            reg = get_registry()
+            mark = reg.mark()
+            mpc_edit_distance(s, t, seed=0)
+            mpc_edit_distance(s, t, seed=0)
+            from repro.metrics import MetricsRegistry
+            delta = MetricsRegistry.delta(mark, reg.snapshot())
+        assert cache.hits > 0
+        assert delta["distance_cache.hits"]["value"] == cache.hits
+        assert delta["distance_cache.misses"]["value"] == cache.misses

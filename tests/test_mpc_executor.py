@@ -9,6 +9,8 @@ import pytest
 
 from repro.mpc import (MachineTask, MPCSimulator, ProcessPoolExecutor,
                        SerialExecutor, add_work, execute_task)
+from repro.mpc import executor as executor_mod
+from repro.mpc.executor import _resolve_broadcast
 
 
 def _square(payload):
@@ -91,3 +93,65 @@ class TestProcessPoolExecutor:
         pool.close()
         pool.close()
         assert not pool.running
+
+
+class TestEffectiveChunksize:
+    def test_explicit_chunksize_is_authoritative(self):
+        pool = ProcessPoolExecutor(max_workers=4, chunksize=3)
+        assert pool.effective_chunksize(1000) == 3
+        assert pool.effective_chunksize(1) == 3
+
+    def test_default_derives_four_batches_per_worker(self):
+        pool = ProcessPoolExecutor(max_workers=4)
+        assert pool.effective_chunksize(160) == 10  # 160 // (4*4)
+        assert pool.effective_chunksize(16) == 1
+        assert pool.effective_chunksize(0) == 1     # floor at 1
+
+    def test_default_chunksize_results_match_serial(self):
+        tasks = [MachineTask(_square, i) for i in range(50)]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            assert pool.chunksize is None
+            pooled = pool.run(tasks)
+        assert [r.output for r in pooled] \
+            == [r.output for r in SerialExecutor().run(tasks)]
+
+
+class TestWorkerBroadcastCacheLRU:
+    """Regression: the per-worker broadcast cache evicts by *use*, not
+    by insertion order — the round currently executing must survive
+    unrelated rounds churning the cache."""
+
+    def _pickled(self, value):
+        import pickle
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def test_hit_refreshes_recency(self):
+        saved = dict(executor_mod._worker_broadcast_cache)
+        executor_mod._worker_broadcast_cache.clear()
+        try:
+            limit = executor_mod._WORKER_CACHE_LIMIT
+            blobs = {i: {"round": i} for i in range(limit + 1)}
+            for i in range(limit):
+                _resolve_broadcast(i, self._pickled(blobs[i]))
+            first = _resolve_broadcast(0, self._pickled(blobs[0]))  # touch 0
+            _resolve_broadcast(limit, self._pickled(blobs[limit]))
+            cached = executor_mod._worker_broadcast_cache
+            assert 0 in cached          # refreshed: survived the eviction
+            assert 1 not in cached      # least-recently-used: evicted
+            # token 0 resolves to the cached object, not a fresh unpickle
+            assert _resolve_broadcast(0, self._pickled(blobs[0])) is first
+        finally:
+            executor_mod._worker_broadcast_cache.clear()
+            executor_mod._worker_broadcast_cache.update(saved)
+
+    def test_cache_stays_bounded(self):
+        saved = dict(executor_mod._worker_broadcast_cache)
+        executor_mod._worker_broadcast_cache.clear()
+        try:
+            for i in range(20):
+                _resolve_broadcast(100 + i, self._pickled({"i": i}))
+            assert len(executor_mod._worker_broadcast_cache) \
+                <= executor_mod._WORKER_CACHE_LIMIT
+        finally:
+            executor_mod._worker_broadcast_cache.clear()
+            executor_mod._worker_broadcast_cache.update(saved)

@@ -60,6 +60,38 @@ class TestDoubling:
         assert banded.total < dense.total / 10
 
 
+class TestLengthDifferenceEarlyExit:
+    def test_banded_length_gap_at_boundary(self):
+        # |m - n| == k: the band is still feasible and must be evaluated.
+        a, b = [1, 2, 3, 4, 5, 6, 7], [1, 2, 3, 4]
+        assert levenshtein_banded(a, b, 3) == 3
+        # |m - n| == k + 1: certified infeasible without any DP.
+        assert levenshtein_banded(a, b, 2) is None
+
+    def test_early_exit_charges_constant_work(self):
+        a, b = list(range(4000)), list(range(10))
+        with WorkMeter() as meter:
+            assert levenshtein_banded(a, b, 100) is None
+        assert meter.total == 1
+        with WorkMeter() as meter:
+            assert not within_threshold(a, b, 100)
+        assert meter.total == 1
+
+    def test_threshold_boundary_exact(self):
+        # ed("kitten", "sitting") == 3: tau == d accepts, tau == d-1
+        # rejects, and the length-difference fast path (|6-7| = 1) only
+        # fires below tau == 1.
+        assert within_threshold("kitten", "sitting", 3)
+        assert not within_threshold("kitten", "sitting", 2)
+        a, b = [1] * 5, [1] * 9
+        assert within_threshold(a, b, 4)        # == tau exactly
+        assert not within_threshold(a, b, 3)    # == tau + 1 gap
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            within_threshold("a", "b", -1)
+
+
 class TestThreshold:
     def test_within_threshold(self):
         assert within_threshold("kitten", "sitting", 3)

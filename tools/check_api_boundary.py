@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Enforce the MPC-layer API boundaries (stdlib only, CI-friendly).
 
-Three rules:
+Four rules:
 
 * Algorithm drivers must submit rounds through :mod:`repro.mpc.plan`
   (``Pipeline``/``RoundSpec``/``run_plan``) so that shuffle volume and
@@ -18,6 +18,11 @@ Three rules:
   Tests, examples and benchmarks consume snapshots read-only
   (``get_registry().snapshot()`` / ``RunStats.metrics``); the
   registry's own unit tests are the single sanctioned exception.
+* Raw ``multiprocessing.shared_memory`` is an internal privilege of
+  ``src/repro/mpc/`` (the data plane owns segment lifecycle and
+  refcounting).  Everything else publishes through
+  :class:`repro.mpc.DataPlane` and ships :class:`~repro.mpc.SharedSlice`
+  descriptors, so a leaked segment can only ever be a data-plane bug.
 
 Exit status 0 when clean; 1 with a per-offence listing otherwise.
 
@@ -64,6 +69,16 @@ RULES = {
         "read-only via get_registry().snapshot() or RunStats.metrics "
         "(tests/test_metrics.py is the sanctioned exception).",
     ),
+    "shared-memory": (
+        re.compile(r"\bshared_memory\b|\bSharedMemory\s*\("),
+        ("src", "benchmarks", "tests", "examples"),
+        # test_api_boundary.py holds offending lines as string fixtures.
+        ("src/repro/mpc/", "tests/test_api_boundary.py"),
+        "raw multiprocessing.shared_memory use outside src/repro/mpc/",
+        "Segment lifecycle belongs to the data plane: publish via "
+        "repro.mpc.DataPlane and ship SharedSlice descriptors "
+        "(resolve_payload runs inside execute_task).",
+    ),
 }
 
 #: Union of every rule's scan dirs (computed, not configured).
@@ -106,8 +121,8 @@ def main(argv):
             print(hint)
         return 1
     print("API boundary clean: no direct run_round calls, sink "
-          "constructions, or metrics mutation outside their "
-          "sanctioned modules")
+          "constructions, metrics mutation, or raw shared_memory use "
+          "outside their sanctioned modules")
     return 0
 
 
