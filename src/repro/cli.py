@@ -16,6 +16,14 @@ Commands
             (``--chrome`` additionally exports a Perfetto-loadable
             Chrome trace-event file).
 
+``serve``       run a batch of concurrent mixed ulam/edit queries
+                through the persistent :mod:`repro.service` layer (one
+                executor, one data-plane publish per corpus) and print
+                per-query outcomes plus p50/p99 latency and queries/sec.
+``serve-bench`` the deterministic service workload the regression gate
+                replays (fixed corpora, alternating algorithms, summed
+                ledger) — the E23 configuration.
+
 ``history``  print the local run history (``.repro/history.jsonl``).
 ``compare``  compare the latest matching history runs against a
              committed baseline (``BENCH_table1.json``) and exit
@@ -177,6 +185,56 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_opts(ch)
     registry_opts(ch)
 
+    sv = sub.add_parser(
+        "serve", help="run concurrent mixed queries through the "
+                      "persistent distance service")
+    sv.add_argument("--queries", type=int, default=20,
+                    help="number of concurrent queries (default 20)")
+    sv.add_argument("--algo", choices=("mixed", "ulam", "edit"),
+                    default="mixed",
+                    help="workload mix (default: alternate ulam/edit)")
+    sv.add_argument("--n", type=int, default=256,
+                    help="generated input length (default 256)")
+    sv.add_argument("--budget", type=int, default=None,
+                    help="planted distance budget (default n/16)")
+    sv.add_argument("--x", type=float, default=None,
+                    help="memory exponent (default: per-algorithm)")
+    sv.add_argument("--eps", type=float, default=None,
+                    help="approximation slack (default: per-algorithm)")
+    sv.add_argument("--seed", type=int, default=0,
+                    help="root seed; query i runs with seed+i")
+    sv.add_argument("--workers", type=int, default=0,
+                    help="process-pool workers shared by all queries "
+                         "(0 = serial executor, the default)")
+    sv.add_argument("--max-queries", type=int, default=8,
+                    help="admission cap: queries executing rounds "
+                         "concurrently (default 8)")
+    sv.add_argument("--max-inflight", type=int, default=4,
+                    help="admission cap: MPC rounds in flight across "
+                         "all queries (default 4)")
+    data_plane_opts(sv)
+    registry_opts(sv)
+
+    sb = sub.add_parser(
+        "serve-bench", help="deterministic service workload for the "
+                            "regression gate (E23): fixed corpora, "
+                            "alternating ulam/edit, summed ledger")
+    sb.add_argument("--n", type=int, default=192,
+                    help="generated input length (default 192)")
+    sb.add_argument("--budget", type=int, default=None,
+                    help="planted distance budget (default n/16)")
+    sb.add_argument("--x", type=float, default=0.25,
+                    help="memory exponent, shared by both algorithms "
+                         "(default 0.25)")
+    sb.add_argument("--eps", type=float, default=0.5,
+                    help="approximation slack, shared by both "
+                         "algorithms (default 0.5)")
+    sb.add_argument("--seed", type=int, default=0,
+                    help="root seed; query i runs with seed+i")
+    sb.add_argument("--queries", type=int, default=8,
+                    help="number of concurrent queries (default 8)")
+    registry_opts(sb)
+
     from .registry import DEFAULT_HISTORY_PATH
     hi = sub.add_parser(
         "history", help="print the local run history")
@@ -325,13 +383,13 @@ def _print_result(title: str, answer: int, exact: Optional[int],
 def _enable_metrics() -> None:
     """Turn on metrics collection for this run.
 
-    The registry is process-cumulative, so it is reset first: the run
-    record's metrics delta then equals the run's absolute values even
-    when several commands share one process (tests, notebooks), and
-    identical invocations produce identical records.
+    Per-run attribution comes from :func:`repro.metrics.scoped_snapshot`
+    (the query runner wraps every execution in a scope), so the
+    process-cumulative registry is *not* reset here: records stay
+    identical across invocations sharing one process (tests, notebooks),
+    and concurrent queries each see only their own delta.
     """
-    from .metrics import enable, get_registry
-    get_registry().reset()
+    from .metrics import enable
     enable()
 
 
@@ -383,6 +441,79 @@ def _finish_run(args, command: str, res, s, t,
         print()
         print(format_guarantees(report))
     return 0 if report is None or report.passed else 1
+
+
+def _service_workload(n: int, budget: int, seed: int, queries: int,
+                      algo: str, x: Optional[float],
+                      eps: Optional[float]) -> List[dict]:
+    """Build the query dicts for ``serve`` / ``serve-bench``.
+
+    Two generated corpora back the whole batch — a planted permutation
+    pair (ulam queries) and a planted string pair (edit queries) — so
+    the service's content addressing publishes each at most once no
+    matter how many queries run.  Query ``i`` uses ``seed + i`` so the
+    batch exercises distinct sampling randomness deterministically.
+    """
+    s_p, t_p, _ = perm_pair(n, budget, seed=seed, style="mixed")
+    s_s, t_s, _ = str_pair(n, budget, sigma=4, seed=seed)
+    out: List[dict] = []
+    for i in range(queries):
+        if algo == "mixed":
+            q_algo = "ulam" if i % 2 == 0 else "edit"
+        else:
+            q_algo = algo
+        s, t = (s_p, t_p) if q_algo == "ulam" else (s_s, t_s)
+        q: dict = {"algo": q_algo, "s": s, "t": t, "seed": seed + i}
+        if x is not None:
+            q["x"] = x
+        if eps is not None:
+            q["eps"] = eps
+        out.append(q)
+    return out
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    idx = round(q * (len(sorted_values) - 1))
+    return sorted_values[max(0, min(len(sorted_values) - 1, int(idx)))]
+
+
+def _aggregate_service_summary(outcomes, wall: float) -> dict:
+    """Batch-level ledger: additive fields summed, high-waters maxed.
+
+    Aggregation runs in submission order over per-query summaries, so
+    for a fixed seed the gated fields are deterministic regardless of
+    how the event loop interleaved the queries (``wall_seconds`` is the
+    only clock-derived field, and the gate does not compare it).
+    """
+    summaries = [o.stats.summary() for o in outcomes]
+    agg: dict = {
+        "distance": sum(o.distance for o in outcomes),
+        "n_queries": len(outcomes),
+    }
+    for key in ("rounds", "total_work", "parallel_work",
+                "total_communication_words", "shuffle_words",
+                "broadcast_words", "data_plane_bytes_shipped",
+                "data_plane_bytes_avoided"):
+        values = [s[key] for s in summaries if key in s]
+        if values:
+            agg[key] = sum(values)
+    for key in ("max_machines", "max_memory_words"):
+        values = [s[key] for s in summaries if key in s]
+        if values:
+            agg[key] = max(values)
+    agg["wall_seconds"] = round(wall, 6)
+    return agg
+
+
+def _serve_latency_report(outcomes, wall: float) -> dict:
+    latencies = sorted(o.latency_seconds for o in outcomes)
+    return {
+        "p50_latency_seconds": round(_percentile(latencies, 0.50), 6),
+        "p99_latency_seconds": round(_percentile(latencies, 0.99), 6),
+        "queries_per_second": round(len(outcomes) / wall, 3) if wall
+        else float("inf"),
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -500,6 +631,120 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   "on_exhausted": args.on_exhausted})
         _finish_telemetry(sim, args)
         return code
+
+    if args.command == "serve":
+        from .registry import append_record, make_record
+        from .service import run_workload
+        _enable_metrics()
+        budget = args.budget if args.budget is not None else args.n // 16
+        queries = _service_workload(args.n, budget, args.seed,
+                                    args.queries, args.algo,
+                                    args.x, args.eps)
+        outcomes, wall = run_workload(
+            queries, max_workers=args.workers or None,
+            max_concurrent_queries=args.max_queries,
+            max_inflight_rounds=args.max_inflight,
+            data_plane=not args.no_data_plane,
+            check_guarantees=args.check_guarantees)
+        summary = _aggregate_service_summary(outcomes, wall)
+        summary.update(_serve_latency_report(outcomes, wall))
+        guarantees = None
+        if args.check_guarantees:
+            verdicts = [bool(o.guarantees_passed) for o in outcomes]
+            guarantees = {"passed": all(verdicts),
+                          "n_queries": len(verdicts),
+                          "n_failed": verdicts.count(False)}
+        if not args.no_history:
+            # One history record per query: each carries its own exact
+            # ledger and verdict, exactly like a one-shot run would.
+            for o in outcomes:
+                record = make_record(
+                    "serve",
+                    {"n": args.n, "x": o.params["x"],
+                     "eps": o.params["eps"], "seed": o.params["seed"],
+                     "budget": budget},
+                    {"distance": o.distance, **o.stats.summary()},
+                    guarantees=o.guarantees,
+                    extra={"algo": o.algo, "query_id": o.query_id,
+                           "latency_seconds":
+                               round(o.latency_seconds, 6)})
+                append_record(args.history, record)
+        if args.json:
+            batch = make_record(
+                "serve",
+                {"n": args.n, "x": args.x, "eps": args.eps,
+                 "seed": args.seed, "budget": budget},
+                summary, guarantees=guarantees,
+                extra={"queries": args.queries, "algo": args.algo,
+                       "workers": args.workers})
+            print(json.dumps(batch, sort_keys=True))
+        else:
+            for o in outcomes:
+                verdict = ""
+                if o.guarantees_passed is not None:
+                    verdict = "  guarantees=" + \
+                        ("PASS" if o.guarantees_passed else "FAIL")
+                print(f"#{o.query_id:<3} {o.algo:<5} "
+                      f"d={o.distance:<6} "
+                      f"rounds={o.stats.n_rounds:<3} "
+                      f"work={o.stats.total_work:<10} "
+                      f"latency={o.latency_seconds * 1000:.1f}ms"
+                      + verdict)
+            print()
+            print(format_kv(
+                f"Service batch ({len(outcomes)} queries, "
+                f"algo={args.algo})", summary))
+        return 0 if guarantees is None or guarantees["passed"] else 1
+
+    if args.command == "serve-bench":
+        from .registry import append_record, make_record
+        from .service import run_workload
+        _enable_metrics()
+        budget = args.budget if args.budget is not None else args.n // 16
+        # The gate configuration is fixed: mixed workload, shared
+        # x/eps (valid for both algorithms), serial executor — the
+        # gated ledger fields are then deterministic for a seed.
+        queries = _service_workload(args.n, budget, args.seed,
+                                    args.queries, "mixed",
+                                    args.x, args.eps)
+        outcomes, wall = run_workload(
+            queries, check_guarantees=args.check_guarantees)
+        summary = _aggregate_service_summary(outcomes, wall)
+        guarantees = None
+        if args.check_guarantees:
+            verdicts = [bool(o.guarantees_passed) for o in outcomes]
+            guarantees = {"passed": all(verdicts),
+                          "n_queries": len(verdicts),
+                          "n_failed": verdicts.count(False)}
+        record = make_record(
+            "serve-bench",
+            {"n": args.n, "x": args.x, "eps": args.eps,
+             "seed": args.seed, "budget": budget},
+            summary, guarantees=guarantees,
+            extra={"queries": args.queries,
+                   "per_query": [
+                       {"query_id": o.query_id, "algo": o.algo,
+                        "seed": o.params["seed"],
+                        "distance": o.distance,
+                        "total_work": o.stats.total_work}
+                       for o in outcomes]})
+        if not args.no_history:
+            append_record(args.history, record)
+        if args.json:
+            print(json.dumps(record, sort_keys=True))
+        else:
+            data = dict(summary)
+            data.update(_serve_latency_report(outcomes, wall))
+            print(format_kv(
+                f"Service workload gate ({len(outcomes)} queries)",
+                data))
+            if guarantees is not None:
+                print()
+                print("guarantees: "
+                      + ("PASS" if guarantees["passed"] else
+                         f"FAIL ({guarantees['n_failed']} of "
+                         f"{guarantees['n_queries']})"))
+        return 0 if guarantees is None or guarantees["passed"] else 1
 
     if args.command == "history":
         from .registry import format_record, read_history

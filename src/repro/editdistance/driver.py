@@ -15,6 +15,15 @@ Structure (§3.2):
    rounds); ``"doubling"`` stops at the first acceptance — identical
    output and strictly less total work.
 
+Two entry points share one implementation: :class:`EditQuery` is the
+resumable form — a query object over a registered
+:class:`~repro.service.corpus.Corpus` whose :meth:`~EditQuery.steps`
+generator executes one MPC round per step, which is what the
+:class:`~repro.service.DistanceService` multiplexes — and
+:func:`mpc_edit_distance` is the one-shot wrapper that builds an
+ephemeral corpus and drives the same generator to completion.  Ledgers
+are byte-identical between the two by construction.
+
 Every value returned is the cost of an explicit transformation (a valid
 upper bound on ``ed(s, t)``); the approximation guarantee is ``3+ε``
 w.h.p. for the default (cgks-inner) configuration and ``1+ε`` for the
@@ -24,21 +33,22 @@ small regime with an exact inner solver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, Generator, List, Optional
 
 import numpy as np
 
-from ..metrics import MetricsRegistry, get_registry
+from ..metrics import get_registry
 from ..mpc.accounting import RunStats
-from ..mpc.shm import DataPlane
 from ..mpc.simulator import MPCSimulator
 from ..params import EditParams
+from ..service.corpus import Corpus
+from ..service.runner import run_query
 from ..strings.types import as_array
 from .config import EditConfig
-from .large import large_distance_upper_bound
-from .small import small_distance_upper_bound
+from .large import large_distance_phases
+from .small import small_distance_phases
 
-__all__ = ["EditResult", "mpc_edit_distance"]
+__all__ = ["EditResult", "EditQuery", "mpc_edit_distance"]
 
 
 @dataclass
@@ -61,6 +71,137 @@ class EditResult:
                "n_guesses_run": len(self.per_guess)}
         out.update(self.stats.summary())
         return out
+
+
+class EditQuery:
+    """Resumable edit-distance query over a registered corpus.
+
+    Construction validates parameters and derives :class:`EditParams`
+    (so admission control can inspect ``params.memory_limit`` before
+    any round runs); :meth:`steps` is a generator executing one MPC
+    round per ``next()`` — the equality prefix round, then each guess's
+    small- or large-regime rounds — and storing the
+    :class:`EditResult` on :attr:`result` when exhausted.
+    """
+
+    algo = "edit"
+
+    def __init__(self, corpus: Corpus, x: float = 0.25, eps: float = 1.0,
+                 config: Optional[EditConfig] = None,
+                 seed: int = 0) -> None:
+        self.corpus = corpus
+        self.config = config or EditConfig.default()
+        self.seed = seed
+        n = len(corpus.S)
+        if n <= 1:
+            self.params = EditParams(n=2, x=min(x, 5 / 17), eps=eps)
+        else:
+            self.params = EditParams(
+                n=n, x=x, eps=eps,
+                eps_prime_divisor=self.config.eps_prime_divisor)
+        self.result: Optional[EditResult] = None
+
+    def steps(self, sim: MPCSimulator) -> Generator[str, None, None]:
+        """Execute the query's rounds on *sim*, one per step."""
+        corpus = self.corpus
+        S, T = corpus.S, corpus.T
+        n = len(S)
+        params = self.params
+        config = self.config
+
+        if n <= 1:
+            # Degenerate inputs: solved directly (no rounds).
+            from ..strings.edit_distance import levenshtein
+            d = levenshtein(S, T)
+            self.result = EditResult(distance=d, n=n, params=params,
+                                     stats=RunStats(),
+                                     accepted_guess=None,
+                                     regime="trivial")
+            return
+
+        # Adapt the phase-2 shipping cap to the memory budget: the
+        # combining machine must hold every tuple (6 words each), so
+        # per-block shipping is bounded by half its memory divided
+        # across blocks.
+        if sim.memory_limit is not None:
+            n_blocks = max(1, -(-n // params.block_size_small))
+            budget_top_k = max(
+                1, (sim.memory_limit // 2) // (6 * n_blocks))
+            if config.phase2_top_k is None \
+                    or config.phase2_top_k > budget_top_k:
+                config = replace(config, phase2_top_k=budget_top_k)
+
+        # The equality shortcut is a *sequential* prefix round; it runs
+        # on its own simulator so the parallel-guess merge below cannot
+        # fold it into a guess round, and its rounds are prepended to
+        # the ledger.
+        prefix_rounds: List[object] = []
+        if config.distributed_equality_check:
+            from ..mpc.utils import distributed_equal
+            eq_sim = sim.spawn()
+            equal = distributed_equal(S, T, eq_sim,
+                                      round_name="ed/0-equality")
+            prefix_rounds = list(eq_sim.stats.rounds)
+            yield "ed/0-equality"
+        else:
+            equal = len(S) == len(T) and bool(np.array_equal(S, T))
+        if equal:
+            sim.stats.rounds = prefix_rounds + sim.stats.rounds
+            self.result = EditResult(distance=0, n=n, params=params,
+                                     stats=sim.stats.snapshot(),
+                                     accepted_guess=0, regime="equal")
+            return
+
+        accept = config.accept_slack if config.accept_slack is not None \
+            else (3.0 + params.eps)
+        best: Optional[int] = None
+        accepted_guess: Optional[int] = None
+        regime_used = "none"
+        per_guess: List[Dict[str, object]] = []
+
+        # One corpus plane serves every guess (and every concurrent
+        # query): S and T are published at most once and all
+        # partitioners ship descriptors of them.
+        plane = corpus.edit_plane()
+        for gi, guess in enumerate(params.distance_guesses()):
+            sub = sim.spawn()
+            if config.force_regime == "auto":
+                small = params.is_small_regime(guess)
+            else:
+                small = config.force_regime == "small"
+            if small:
+                bound, n_tuples = yield from small_distance_phases(
+                    S, T, params, guess, sub, config, plane=plane)
+                info: Dict[str, object] = {"n_tuples": n_tuples}
+            else:
+                bound, info = yield from large_distance_phases(
+                    S, T, params, guess, sub, config,
+                    seed=self.seed * (1 << 16) + gi, plane=plane)
+            sim.absorb(sub)
+            entry = {"guess": guess,
+                     "regime": "small" if small else "large",
+                     "bound": bound,
+                     "accepted": bound <= accept * guess}
+            entry.update(info)
+            per_guess.append(entry)
+            if best is None or bound < best:
+                best = bound
+            if bound <= accept * guess:
+                if accepted_guess is None:
+                    accepted_guess = guess
+                    regime_used = "small" if small else "large"
+                if config.guess_mode == "doubling":
+                    break
+
+        assert best is not None  # guess schedule always reaches 2n
+        sim.stats.rounds = prefix_rounds + sim.stats.rounds
+        reg = get_registry()
+        reg.gauge("edit.phase2_top_k").set(config.phase2_top_k)
+        reg.gauge("edit.n_guesses_run").set(len(per_guess))
+        self.result = EditResult(distance=int(best), n=n, params=params,
+                                 stats=sim.stats.snapshot(),
+                                 accepted_guess=accepted_guess,
+                                 regime=regime_used, per_guess=per_guess)
 
 
 def mpc_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
@@ -105,116 +246,15 @@ def mpc_edit_distance(s, t, x: float = 0.25, eps: float = 1.0,
         semantics (2 rounds small regime, 4 rounds large regime).
     """
     S, T = as_array(s), as_array(t)
-    n = len(S)
-
-    # Per-run metrics view (same pattern as mpc_ulam): delta between a
-    # start mark and the final registry snapshot, attached on every
-    # return path.
-    reg = get_registry()
-    mark = reg.mark() if reg.enabled else None
-
-    def attach_metrics(stats: RunStats) -> RunStats:
-        if mark is not None:
-            stats.metrics = MetricsRegistry.delta(mark, reg.snapshot())
-        return stats
-
-    if n <= 1:
-        # Degenerate inputs: solved directly (no rounds).
-        from ..strings.edit_distance import levenshtein
-        d = levenshtein(S, T)
-        params = EditParams(n=2, x=min(x, 5 / 17), eps=eps)
-        return EditResult(distance=d, n=n, params=params,
-                          stats=attach_metrics(RunStats()),
-                          accepted_guess=None, regime="trivial")
-
-    config = config or EditConfig.default()
-    params = EditParams(n=n, x=x, eps=eps,
-                        eps_prime_divisor=config.eps_prime_divisor)
-    if sim is None:
-        sim = MPCSimulator(memory_limit=params.memory_limit)
-
-    # Adapt the phase-2 shipping cap to the memory budget: the combining
-    # machine must hold every tuple (6 words each), so per-block shipping
-    # is bounded by half its memory divided across blocks.
-    if sim.memory_limit is not None:
-        n_blocks = max(1, -(-n // params.block_size_small))
-        budget_top_k = max(1, (sim.memory_limit // 2) // (6 * n_blocks))
-        if config.phase2_top_k is None or config.phase2_top_k > budget_top_k:
-            config = replace(config, phase2_top_k=budget_top_k)
-
-    # The equality shortcut is a *sequential* prefix round; it runs on
-    # its own simulator so the parallel-guess merge below cannot fold it
-    # into a guess round, and its rounds are prepended to the ledger.
-    prefix_rounds: List[object] = []
-    if config.distributed_equality_check:
-        from ..mpc.utils import distributed_equal
-        eq_sim = sim.spawn()
-        equal = distributed_equal(S, T, eq_sim,
-                                  round_name="ed/0-equality")
-        prefix_rounds = list(eq_sim.stats.rounds)
-    else:
-        equal = len(S) == len(T) and bool(np.array_equal(S, T))
-    if equal:
-        sim.stats.rounds = prefix_rounds + sim.stats.rounds
-        return EditResult(distance=0, n=n, params=params,
-                          stats=attach_metrics(sim.stats.snapshot()),
-                          accepted_guess=0, regime="equal")
-
-    accept = config.accept_slack if config.accept_slack is not None \
-        else (3.0 + eps)
-    best: Optional[int] = None
-    accepted_guess: Optional[int] = None
-    regime_used = "none"
-    per_guess: List[Dict[str, object]] = []
-
-    # One data plane serves every guess: S and T are published once and
-    # all partitioners ship descriptors of them.
-    plane = DataPlane(tracer=sim.tracer) if data_plane else None
+    query_corpus = Corpus(S, T, use_plane=data_plane,
+                          tracer=sim.tracer if sim is not None else None)
     try:
-        if plane is not None:
-            plane.publish("S", S)
-            plane.publish("T", T)
-        for gi, guess in enumerate(params.distance_guesses()):
-            sub = sim.spawn()
-            if config.force_regime == "auto":
-                small = params.is_small_regime(guess)
-            else:
-                small = config.force_regime == "small"
-            if small:
-                bound, n_tuples = small_distance_upper_bound(
-                    S, T, params, guess, sub, config, plane=plane)
-                info: Dict[str, object] = {"n_tuples": n_tuples}
-            else:
-                bound, info = large_distance_upper_bound(
-                    S, T, params, guess, sub, config,
-                    seed=seed * (1 << 16) + gi, plane=plane)
-            sim.absorb(sub)
-            entry = {"guess": guess,
-                     "regime": "small" if small else "large",
-                     "bound": bound,
-                     "accepted": bound <= accept * guess}
-            entry.update(info)
-            per_guess.append(entry)
-            if best is None or bound < best:
-                best = bound
-            if bound <= accept * guess:
-                if accepted_guess is None:
-                    accepted_guess = guess
-                    regime_used = "small" if small else "large"
-                if config.guess_mode == "doubling":
-                    break
+        query = EditQuery(query_corpus, x=x, eps=eps, config=config,
+                          seed=seed)
+        if sim is None:
+            sim = MPCSimulator(memory_limit=query.params.memory_limit)
+        return run_query(query, sim)
     finally:
-        # Segments must not outlive the run under any exit path —
-        # memory-cap violations, chaos-exhausted retries, interrupts.
-        if plane is not None:
-            plane.close()
-
-    assert best is not None  # guess schedule always reaches 2n
-    sim.stats.rounds = prefix_rounds + sim.stats.rounds
-    if mark is not None:
-        reg.gauge("edit.phase2_top_k").set(config.phase2_top_k)
-        reg.gauge("edit.n_guesses_run").set(len(per_guess))
-    return EditResult(distance=int(best), n=n, params=params,
-                      stats=attach_metrics(sim.stats.snapshot()),
-                      accepted_guess=accepted_guess,
-                      regime=regime_used, per_guess=per_guess)
+        # One-shot corpora are ephemeral: segments die with the run
+        # under every exit path, exactly like the pre-service driver.
+        query_corpus.close()

@@ -28,7 +28,7 @@ factor cheaper than per-pair DPs.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,8 +45,8 @@ from .config import EditConfig
 from .graph import NodeId, RepDistances, build_candidate_nodes, node_string
 
 __all__ = ["run_rep_distance_machine", "run_pair_distance_machine",
-           "run_block_vs_groups_machine", "large_distance_upper_bound",
-           "group_candidates_by_start"]
+           "run_block_vs_groups_machine", "large_distance_phases",
+           "large_distance_upper_bound", "group_candidates_by_start"]
 
 _M_REPS = get_registry().counter("edit.large.representatives")
 _M_SPARSE_BLOCKS = get_registry().counter("edit.large.sparse_blocks")
@@ -166,18 +166,23 @@ def _cap_per_block(tuples: List[EditTuple],
     return out
 
 
-def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
-                               params: EditParams, guess: int,
-                               sim: MPCSimulator, config: EditConfig,
-                               seed: int = 0,
-                               round_prefix: str = "ed-large",
-                               plane: Optional[DataPlane] = None
-                               ) -> Tuple[int, Dict[str, int]]:
-    """Run the four-round large-distance algorithm for one guess.
+def large_distance_phases(S: np.ndarray, T: np.ndarray,
+                          params: EditParams, guess: int,
+                          sim: MPCSimulator, config: EditConfig,
+                          seed: int = 0,
+                          round_prefix: str = "ed-large",
+                          plane: Optional[DataPlane] = None
+                          ) -> Generator[str, None,
+                                         Tuple[int, Dict[str, int]]]:
+    """Resumable form of the four-round large-distance algorithm.
 
-    Returns ``(upper_bound, diagnostics)``; the bound is the cost of an
+    A generator executing one MPC round per step (yielding the round's
+    name after it completes) and returning ``(upper_bound,
+    diagnostics)`` via ``StopIteration``; the bound is the cost of an
     explicit transformation (always valid) and approximates
-    ``ed(S, T) ≤ guess`` within ``3+ε`` w.h.p. (Lemma 8).
+    ``ed(S, T) ≤ guess`` within ``3+ε`` w.h.p. (Lemma 8).  The service
+    layer steps it round by round; :func:`large_distance_upper_bound`
+    is the one-shot wrapper — both execute identical rounds.
 
     *plane* is an optional data plane with ``S``/``T`` already published
     (see :func:`repro.editdistance.driver.mpc_edit_distance`): payloads
@@ -299,6 +304,7 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
         partitioner=lambda _: payloads,
         broadcast=solver_blob,
         collector=collect_repdist))
+    yield f"{round_prefix}/1-representatives"
 
     edge_tuples: List[EditTuple] = [
         (b[1], b[2], u[1], u[2], w)
@@ -363,6 +369,7 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
         partitioner=lambda _: payloads,
         collector=collect_direct,
         allow_empty=True))
+    yield f"{round_prefix}/2-sparse-samples"
     _M_SPARSE_BLOCKS.inc(len(sampled))
     _M_TUPLES_SPARSE.inc(len(direct_tuples))
 
@@ -425,6 +432,7 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
         broadcast=solver_blob,
         collector=collect_ext,
         allow_empty=True))
+    yield f"{round_prefix}/3-extension"
     _M_EXT_PAIRS.inc(len(ext_pairs))
     _M_TUPLES_EXT.inc(len(ext_tuples))
 
@@ -436,6 +444,7 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
         partitioner=lambda tups: [{"tuples": tups, "n_s": n, "n_t": n_t,
                                    "allow_overlap": True}],
         collector=lambda outs, _: outs[0]), all_tuples)
+    yield f"{round_prefix}/4-combine"
     diag = {
         "n_nodes": len(all_nodes),
         "n_reps": len(rep_ids),
@@ -446,3 +455,25 @@ def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
         "n_tuples": len(all_tuples),
     }
     return int(min(bound, n + n_t)), diag
+
+
+def large_distance_upper_bound(S: np.ndarray, T: np.ndarray,
+                               params: EditParams, guess: int,
+                               sim: MPCSimulator, config: EditConfig,
+                               seed: int = 0,
+                               round_prefix: str = "ed-large",
+                               plane: Optional[DataPlane] = None
+                               ) -> Tuple[int, Dict[str, int]]:
+    """Run the four-round large-distance algorithm for one guess.
+
+    One-shot wrapper over :func:`large_distance_phases`; see there for
+    the guarantee and the *plane* contract.
+    """
+    gen = large_distance_phases(S, T, params, guess, sim, config,
+                                seed=seed, round_prefix=round_prefix,
+                                plane=plane)
+    while True:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            return stop.value

@@ -13,7 +13,7 @@ per (block, candidate) pair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,7 +29,8 @@ from .candidates import candidate_windows, length_offsets, start_grid
 from .combine import EditTuple, run_edit_combine_machine
 from .config import EditConfig
 
-__all__ = ["run_small_block_machine", "small_distance_upper_bound"]
+__all__ = ["run_small_block_machine", "small_distance_phases",
+           "small_distance_upper_bound"]
 
 _M_WINDOWS = get_registry().counter("edit.candidate_windows", regime="small")
 _M_TUPLES = get_registry().counter("edit.candidate_tuples", regime="small")
@@ -125,18 +126,21 @@ def run_small_block_machine(payload: Dict[str, object]) -> List[EditTuple]:
     return tuples
 
 
-def small_distance_upper_bound(S: np.ndarray, T: np.ndarray,
-                               params: EditParams, guess: int,
-                               sim: MPCSimulator, config: EditConfig,
-                               round_prefix: str = "ed-small",
-                               plane: Optional[DataPlane] = None
-                               ) -> Tuple[int, int]:
-    """Run the two-round small-distance algorithm for one guess.
+def small_distance_phases(S: np.ndarray, T: np.ndarray,
+                          params: EditParams, guess: int,
+                          sim: MPCSimulator, config: EditConfig,
+                          round_prefix: str = "ed-small",
+                          plane: Optional[DataPlane] = None
+                          ) -> Generator[str, None, Tuple[int, int]]:
+    """Resumable form of the two-round small-distance algorithm.
 
-    Returns ``(upper_bound, n_tuples)``.  The bound is the cost of an
-    explicit transformation (always valid); it is ``(3+ε)``-approximate
-    whenever ``ed(S, T) ≤ guess`` (Lemma 6) with the cgks inner solver,
-    and ``(1+ε)``-approximate with an exact inner solver.
+    A generator that executes one MPC round per step, yielding the
+    round's name after it completes, and returning ``(upper_bound,
+    n_tuples)`` via ``StopIteration``.  The service layer drives it one
+    round at a time (so admission control can bound in-flight machine
+    work between rounds); :func:`small_distance_upper_bound` drives it
+    to completion for the one-shot path.  Both paths execute the exact
+    same rounds against the same simulator, so ledgers are identical.
 
     *plane* is an optional data plane with ``S``/``T`` already published
     (see :func:`repro.editdistance.driver.mpc_edit_distance`): payloads
@@ -215,10 +219,36 @@ def small_distance_upper_bound(S: np.ndarray, T: np.ndarray,
         partitioner=lambda _: payloads,
         broadcast=shared,
         collector=collect_tuples))
+    yield f"{round_prefix}/1-block-candidates"
 
     bound = pipe.round(RoundSpec(
         f"{round_prefix}/2-combine", run_edit_combine_machine,
         partitioner=lambda tups: [{"tuples": tups, "n_s": n, "n_t": n_t,
                                    "allow_overlap": False}],
         collector=lambda outs, _: outs[0]), tuples)
+    yield f"{round_prefix}/2-combine"
     return int(min(bound, n + n_t)), len(tuples)
+
+
+def small_distance_upper_bound(S: np.ndarray, T: np.ndarray,
+                               params: EditParams, guess: int,
+                               sim: MPCSimulator, config: EditConfig,
+                               round_prefix: str = "ed-small",
+                               plane: Optional[DataPlane] = None
+                               ) -> Tuple[int, int]:
+    """Run the two-round small-distance algorithm for one guess.
+
+    Returns ``(upper_bound, n_tuples)``.  The bound is the cost of an
+    explicit transformation (always valid); it is ``(3+ε)``-approximate
+    whenever ``ed(S, T) ≤ guess`` (Lemma 6) with the cgks inner solver,
+    and ``(1+ε)``-approximate with an exact inner solver.
+
+    One-shot wrapper over :func:`small_distance_phases`.
+    """
+    gen = small_distance_phases(S, T, params, guess, sim, config,
+                                round_prefix=round_prefix, plane=plane)
+    while True:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            return stop.value

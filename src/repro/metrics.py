@@ -28,9 +28,12 @@ Design
 
 * Snapshots are plain dicts keyed by ``name{label=value,...}`` so they
   serialise to JSON untouched; :meth:`MetricsRegistry.delta` subtracts
-  two snapshots, which is how drivers attach a *per-run* metrics view to
-  :class:`~repro.mpc.accounting.RunStats` even though the registry is
-  process-cumulative.
+  two snapshots, and :func:`scoped_snapshot` collects a *windowed* view
+  directly — every increment made while the scope is active (in the
+  entering context or anything it spawns via ``contextvars`` copies,
+  e.g. ``asyncio.to_thread``) is accumulated into the scope, so
+  concurrent queries each get an exact per-query delta even though the
+  registry is process-cumulative and shared.
 
 Scope
 -----
@@ -49,13 +52,23 @@ the registry's own unit tests are the single sanctioned exception).
 
 from __future__ import annotations
 
+import contextvars
 import threading
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "MetricsScope", "scoped_snapshot",
            "get_registry", "enable", "disable", "enabled"]
 
 MetricSnapshot = Dict[str, dict]
+
+#: Active metric scopes for the current context.  A tuple (not a list)
+#: so that pushing a scope rebinds the ContextVar — child contexts
+#: (``asyncio.to_thread``, ``Context.run``) see the scopes that were
+#: active when they were forked, and sibling tasks never observe each
+#: other's scopes.
+_SCOPES: "contextvars.ContextVar[Tuple[MetricsScope, ...]]" = \
+    contextvars.ContextVar("repro_metrics_scopes", default=())
 
 
 def metric_key(name: str, labels: Dict[str, object]) -> str:
@@ -106,6 +119,8 @@ class Counter(_Instrument):
             return
         self.value += amount
         self.touched = True
+        for scope in _SCOPES.get():
+            scope._record_counter(self.key, amount)
 
     def _reset(self) -> None:
         self.value = 0
@@ -131,6 +146,8 @@ class Gauge(_Instrument):
             return
         self.value = value
         self.touched = True
+        for scope in _SCOPES.get():
+            scope._record_gauge(self.key, value)
 
     def _reset(self) -> None:
         self.value = 0
@@ -167,6 +184,8 @@ class Histogram(_Instrument):
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
         self.touched = True
+        for scope in _SCOPES.get():
+            scope._record_histogram(self.key, value)
 
     def _reset(self) -> None:
         self.count = 0
@@ -313,6 +332,105 @@ def merge_snapshots(a: MetricSnapshot, b: MetricSnapshot) -> MetricSnapshot:
                 elif val[field] is not None:
                     cur[field] = pick(cur[field], val[field])
     return out
+
+
+# ---------------------------------------------------------------------------
+# Scoped collection
+
+class MetricsScope:
+    """Accumulator for every metric write made while its scope is active.
+
+    Produced by :func:`scoped_snapshot`.  Unlike the
+    ``mark()``/``delta()`` pair — which reads the *shared* registry twice
+    and therefore attributes concurrent writers' increments to whichever
+    window happens to be open — a scope only ever receives the writes
+    that happen in its own context tree, so per-query deltas stay exact
+    when queries overlap.  Histogram ``min``/``max`` are windowed too
+    (the cumulative-extremes caveat of :meth:`MetricsRegistry.delta`
+    does not apply).
+
+    Thread-safe: ``asyncio.to_thread`` copies the ambient context into
+    the worker thread, so several threads may record into one scope.
+    """
+
+    __slots__ = ("_lock", "_data")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: Dict[str, dict] = {}
+
+    def _record_counter(self, key: str, amount) -> None:
+        with self._lock:
+            cur = self._data.get(key)
+            if cur is None:
+                self._data[key] = {"type": "counter", "value": amount}
+            else:
+                cur["value"] += amount
+
+    def _record_gauge(self, key: str, value) -> None:
+        with self._lock:
+            self._data[key] = {"type": "gauge", "value": value}
+
+    def _record_histogram(self, key: str, value) -> None:
+        with self._lock:
+            cur = self._data.get(key)
+            if cur is None:
+                self._data[key] = {"type": "histogram", "count": 1,
+                                   "sum": value, "min": value, "max": value}
+            else:
+                cur["count"] += 1
+                cur["sum"] += value
+                cur["min"] = min(cur["min"], value)
+                cur["max"] = max(cur["max"], value)
+
+    def delta(self) -> MetricSnapshot:
+        """The scope's accumulated writes, in snapshot/delta format.
+
+        Matches :meth:`MetricsRegistry.delta` output exactly: sorted
+        keys, zero-valued counters and empty histograms omitted, so the
+        result drops into :attr:`RunStats.metrics` / run records
+        unchanged.
+        """
+        with self._lock:
+            out: MetricSnapshot = {}
+            for key in sorted(self._data):
+                val = dict(self._data[key])
+                if val["type"] == "counter" and not val["value"]:
+                    continue
+                if val["type"] == "histogram" and not val["count"]:
+                    continue
+                out[key] = val
+            return out
+
+
+class scoped_snapshot:
+    """Context manager yielding a :class:`MetricsScope` for exact deltas.
+
+    ::
+
+        with scoped_snapshot() as scope:
+            ...  # run a query (possibly across asyncio.to_thread hops)
+        record["metrics"] = scope.delta()
+
+    Scopes nest (each write lands in every active scope) and are carried
+    by ``contextvars``, so two overlapping queries in one process —
+    interleaved asyncio tasks, or threads started with a copied context
+    — each collect only their own writes.  This replaces the global
+    ``registry.reset()`` the CLI used to need before every run.
+    """
+
+    def __init__(self) -> None:
+        self.scope = MetricsScope()
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> MetricsScope:
+        self._token = _SCOPES.set(_SCOPES.get() + (self.scope,))
+        return self.scope
+
+    def __exit__(self, *exc) -> None:
+        if self._token is not None:
+            _SCOPES.reset(self._token)
+            self._token = None
 
 
 # ---------------------------------------------------------------------------

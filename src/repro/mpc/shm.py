@@ -311,6 +311,14 @@ class DataPlane:
                 output_words=len(arr)))
         return SharedSlice(shm.name, seg.dtype, 0, seg.length)
 
+    def published(self, key: str) -> bool:
+        """Whether *key* currently has a live segment on this plane.
+
+        Lets owners publish lazily ("first query that needs the key
+        pays the copy") without reaching into plane internals.
+        """
+        return key in self._segments
+
     def slice(self, key: str, lo: int, hi: int,
               words: Optional[int] = None) -> SharedSlice:
         """Descriptor for elements ``[lo, hi)`` of the published *key*.

@@ -105,12 +105,24 @@ def make_record(command: str, params: Dict[str, object],
 
 
 def append_record(path: str, record: dict) -> None:
-    """Append one record to the JSONL history, creating parents."""
+    """Append one record to the JSONL history, creating parents.
+
+    Safe under concurrent writers: the record is encoded up front and
+    written with a single ``write()`` on an ``O_APPEND`` descriptor.
+    POSIX serialises the offset update with the write itself, so two
+    simultaneous appends (parallel CLI runs, service queries finishing
+    together) interleave at *record* granularity — neither can tear the
+    other's line the way buffered ``open(path, "a")`` writes could.
+    """
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
 
 
 def read_history(path: str) -> List[dict]:

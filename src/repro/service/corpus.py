@@ -1,0 +1,219 @@
+"""Registered corpora: publish input arrays once, share across queries.
+
+The MPC model the paper works in (and the MapReduce formulation of
+Boroujeni et al.) assumes data placement persists across rounds; the
+service layer extends that discipline across *queries*.  A
+:class:`Corpus` owns the immutable input pair ``(S, T)`` plus one
+:class:`~repro.mpc.shm.DataPlane`, and publishes each derived array —
+``S``/``T`` for edit distance, the Ulam position table — **at most
+once**, the first time a query of the matching algorithm runs.  Every
+concurrent and subsequent query against the corpus then ships
+:class:`~repro.mpc.shm.SharedSlice` descriptors of the same segments, so
+the per-corpus publish cost is paid once no matter how many queries
+multiplex over it.
+
+Corpora are content-addressed (:func:`content_id` hashes dtype, length
+and bytes of both strings), so registering the same pair twice yields
+the same corpus, and reference-counted: the service holds one reference
+for the registration and one per in-flight query, and the segments are
+unlinked when the count reaches zero (at the latest at service
+shutdown).  The one-shot drivers use an ephemeral single-reference
+corpus closed in their ``finally`` — the exact lifecycle the standalone
+``DataPlane`` had before, so ledgers and segment hygiene are unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..mpc.shm import DataPlane
+from ..mpc.telemetry import Tracer
+from ..strings.types import as_array
+from ..strings.ulam import check_duplicate_free
+
+__all__ = ["Corpus", "content_id"]
+
+
+def content_id(S: np.ndarray, T: np.ndarray) -> str:
+    """Content address of an input pair: ``sha256`` over dtype+len+bytes.
+
+    Deterministic across processes and sessions, so clients can predict
+    whether a registration will dedupe against an existing corpus.
+    """
+    h = hashlib.sha256()
+    for arr in (S, T):
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(len(a).to_bytes(8, "little"))
+        h.update(a.tobytes())
+    return h.hexdigest()[:16]
+
+
+def _positions_in_t(S: np.ndarray, pos_t: Dict[int, int]) -> np.ndarray:
+    """``out[j]`` = index of ``S[j]`` inside ``t``, or ``-1`` if absent."""
+    out = np.full(len(S), -1, dtype=np.int64)
+    for j, v in enumerate(S.tolist()):
+        p = pos_t.get(v)
+        if p is not None:
+            out[j] = p
+    return out
+
+
+class Corpus:
+    """One registered input pair and its lazily-published segments.
+
+    Parameters
+    ----------
+    s, t:
+        The input strings (``str`` or integer sequences); stored as
+        immutable integer arrays.
+    use_plane:
+        Publish into shared memory and hand out descriptors (default).
+        ``False`` makes every ``slice_*`` helper return plain array
+        views — the copy-payload baseline, used by the drivers'
+        ``data_plane=False`` mode.
+    tracer:
+        Optional tracer; publishes emit ``"publish"`` spans on it.
+    corpus_id:
+        Override the content address (tests only).
+    """
+
+    def __init__(self, s, t, use_plane: bool = True,
+                 tracer: Optional[Tracer] = None,
+                 corpus_id: Optional[str] = None) -> None:
+        self.S = as_array(s)
+        self.T = as_array(t)
+        self.corpus_id = corpus_id or content_id(self.S, self.T)
+        self._plane = DataPlane(tracer=tracer) if use_plane else None
+        self._use_plane = use_plane
+        self._tracer = tracer
+        self._lock = threading.Lock()
+        self._refs = 1
+        self._closed = False
+        self._positions: Optional[np.ndarray] = None
+        self._ulam_capable: Optional[bool] = None
+        self._publish_count = 0
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def publish_count(self) -> int:
+        """Segments published so far (tests assert once-per-key)."""
+        return self._publish_count
+
+    def retain(self) -> None:
+        """Add a reference (one per registration / in-flight query)."""
+        with self._lock:
+            if self._closed:
+                raise ValueError(
+                    f"corpus {self.corpus_id} is already closed")
+            self._refs += 1
+
+    def release(self) -> None:
+        """Drop a reference; the last one unlinks every segment."""
+        with self._lock:
+            self._refs -= 1
+            should_close = self._refs <= 0 and not self._closed
+        if should_close:
+            self.close()
+
+    def close(self) -> None:
+        """Unlink the corpus's segments now.  Idempotent.
+
+        Owners call this on forced shutdown; ordinary teardown goes
+        through :meth:`release`.
+        """
+        with self._lock:
+            self._closed = True
+        if self._plane is not None:
+            self._plane.close()
+
+    # -- validation ----------------------------------------------------
+    def require_ulam(self) -> None:
+        """Raise :class:`ValueError` unless both strings are duplicate-free.
+
+        Ulam queries need the position table, which only exists for
+        duplicate-free strings; the service calls this at admission so
+        an incompatible corpus rejects the query before any round runs.
+        """
+        if self._ulam_capable is None:
+            try:
+                check_duplicate_free(self.S, "s")
+                check_duplicate_free(self.T, "t")
+            except ValueError:
+                self._ulam_capable = False
+                raise
+            self._ulam_capable = True
+        elif not self._ulam_capable:
+            raise ValueError(
+                f"corpus {self.corpus_id} is not duplicate-free; "
+                "ulam queries need duplicate-free inputs")
+
+    # -- derived arrays / lazy publication -----------------------------
+    def positions(self) -> np.ndarray:
+        """The Ulam position table ``pos[j] = index of S[j] in T`` (cached)."""
+        with self._lock:
+            if self._positions is None:
+                pos_t = {int(v): i for i, v in enumerate(self.T.tolist())}
+                if len(pos_t) != len(self.T):  # pragma: no cover
+                    raise AssertionError("t positions not unique")
+                self._positions = _positions_in_t(self.S, pos_t)
+            return self._positions
+
+    def _ensure_published(self, key: str, array: np.ndarray) -> None:
+        # First query of a kind pays the publish; the lock makes two
+        # queries racing on the first round publish exactly once.
+        with self._lock:
+            if self._closed:
+                raise ValueError(
+                    f"corpus {self.corpus_id} is already closed")
+            if not self._plane.published(key):
+                self._plane.publish(key, array)
+                self._publish_count += 1
+
+    def edit_plane(self) -> Optional[DataPlane]:
+        """The plane with ``S``/``T`` published, or ``None`` (plane off).
+
+        Edit-distance phase functions take a plane holding ``S`` and
+        ``T`` and call ``plane.slice`` themselves, so this accessor is
+        their whole integration surface.
+        """
+        if self._plane is None:
+            return None
+        self._ensure_published("S", self.S)
+        self._ensure_published("T", self.T)
+        return self._plane
+
+    def slice_positions(self, lo: int, hi: int):
+        """Descriptor (or view) of the position table rows ``[lo, hi)``."""
+        pos = self.positions()
+        if self._plane is None:
+            return pos[lo:hi]
+        self._ensure_published("positions", pos)
+        return self._plane.slice("positions", lo, hi)
+
+    def scratch_plane(self, tracer: Optional[Tracer] = None
+                      ) -> Optional[DataPlane]:
+        """A fresh per-query plane for intermediate arrays, or ``None``.
+
+        Intermediate state (e.g. the Ulam phase-2 tuple pack) is
+        query-local, so it must not live on the shared corpus plane —
+        queries own their scratch plane and close it when their
+        generator finalises, keeping :func:`~repro.mpc.shm.active_segments`
+        empty after every drain regardless of cancellation.
+        """
+        if not self._use_plane:
+            return None
+        return DataPlane(tracer=tracer if tracer is not None
+                         else self._tracer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Corpus({self.corpus_id}, n_s={len(self.S)}, "
+                f"n_t={len(self.T)}, refs={self._refs})")

@@ -1,0 +1,458 @@
+"""The asyncio distance service: many queries, one pool, one data plane.
+
+:class:`DistanceService` multiplexes concurrent ulam/edit queries over a
+single persistent executor and per-corpus shared-memory segments:
+
+* :meth:`~DistanceService.register_corpus` publishes an input pair once
+  (content-addressed — re-registering the same pair is a no-op returning
+  the same id; reference-counted — segments outlive every in-flight
+  query but not the service);
+* :meth:`~DistanceService.submit` admits a query (unknown corpus,
+  ulam-incompatible corpus, per-machine memory above the service cap,
+  or a closing service all raise :class:`AdmissionError` *before* any
+  round runs) and returns an awaitable :class:`QueryHandle`;
+* every query is a resumable generator (``UlamQuery.steps`` /
+  ``EditQuery.steps``) advanced one MPC round at a time in a worker
+  thread, with a semaphore bounding how many rounds' machine work is in
+  flight at once — the service-level analogue of the paper's per-round
+  machine budget;
+* per-query ledgers come from the query's own simulator and a
+  :func:`~repro.metrics.scoped_snapshot`, so concurrent queries never
+  bleed into each other's :class:`~repro.mpc.accounting.RunStats` or
+  metrics delta, and each ledger is byte-identical to the one-shot
+  driver path (golden-equivalence suite);
+* :meth:`~DistanceService.close` drains in-flight queries, releases
+  every corpus, shuts the owned executor down, and asserts
+  :func:`~repro.mpc.shm.active_segments` is empty — a leak anywhere in
+  the query lifecycle fails shutdown loudly rather than silently
+  outliving the service.
+
+Cancellation: an MPC round is not interruptible mid-flight (machine
+functions run to completion), so cancelling a query lets the in-flight
+round finish in its thread, then finalises the query generator — which
+closes the query's scratch plane — before the cancellation propagates.
+Segments therefore never leak, whichever await the cancellation lands
+on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..metrics import scoped_snapshot
+from ..mpc.executor import Executor, ProcessPoolExecutor, SerialExecutor
+from ..mpc.faults import FaultPlan
+from ..mpc.retry import ResilientSimulator, RetryPolicy
+from ..mpc.shm import active_segments
+from ..mpc.simulator import MPCSimulator
+from ..mpc.telemetry import Tracer
+from .corpus import Corpus
+
+__all__ = ["AdmissionError", "QueryOutcome", "QueryHandle",
+           "DistanceService"]
+
+#: Per-algorithm (x, eps) defaults, matching the one-shot drivers.
+_DEFAULTS = {"ulam": (0.25, 0.5), "edit": (0.25, 1.0)}
+
+
+class AdmissionError(RuntimeError):
+    """A query (or registration) was rejected before any round ran."""
+
+
+@dataclass
+class QueryOutcome:
+    """Everything one finished query reports.
+
+    ``result`` is the driver-native result object (``UlamResult`` /
+    ``EditResult``) whose ``stats`` ledger and ``stats.metrics`` delta
+    are exclusively this query's; ``guarantees`` is the
+    :class:`~repro.analysis.guarantees.GuaranteeReport` dict when the
+    service checked them (service default), else ``None``.
+    """
+
+    query_id: int
+    algo: str
+    corpus_id: str
+    params: Dict[str, object]
+    distance: int
+    result: object
+    latency_seconds: float
+    guarantees: Optional[dict] = None
+
+    @property
+    def stats(self):
+        """The query's own :class:`~repro.mpc.accounting.RunStats`."""
+        return self.result.stats
+
+    @property
+    def metrics(self) -> dict:
+        """The query's exact metrics delta (scoped snapshot)."""
+        return self.result.stats.metrics
+
+    @property
+    def guarantees_passed(self) -> Optional[bool]:
+        """Verdict of the guarantee monitor, ``None`` when not checked."""
+        if self.guarantees is None:
+            return None
+        return bool(self.guarantees.get("passed"))
+
+    def summary(self) -> Dict[str, object]:
+        """The result's summary dict (same shape as the one-shot path)."""
+        return self.result.summary()
+
+
+class QueryHandle:
+    """Awaitable handle for a submitted query.
+
+    ``await handle`` yields the :class:`QueryOutcome` (re-raising the
+    query's exception, including :class:`asyncio.CancelledError` after
+    :meth:`cancel`).
+    """
+
+    __slots__ = ("query_id", "algo", "corpus_id", "_task")
+
+    def __init__(self, query_id: int, algo: str, corpus_id: str,
+                 task: "asyncio.Task") -> None:
+        self.query_id = query_id
+        self.algo = algo
+        self.corpus_id = corpus_id
+        self._task = task
+
+    def __await__(self):
+        return self._task.__await__()
+
+    def cancel(self) -> bool:
+        """Request cancellation (in-flight round still completes)."""
+        return self._task.cancel()
+
+    def done(self) -> bool:
+        return self._task.done()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._task.done() else "running"
+        return (f"QueryHandle(#{self.query_id} {self.algo} "
+                f"corpus={self.corpus_id} {state})")
+
+
+@dataclass
+class _QuerySpec:
+    """Internal record of one admitted query's configuration."""
+
+    algo: str
+    x: float
+    eps: float
+    seed: int
+    fault_plan: Optional[FaultPlan] = None
+    max_attempts: int = 3
+    on_exhausted: str = "raise"
+    check_guarantees: bool = True
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class DistanceService:
+    """Concurrent ulam/edit query multiplexer (see module docstring).
+
+    Parameters
+    ----------
+    max_workers:
+        ``> 0`` builds one shared
+        :class:`~repro.mpc.executor.ProcessPoolExecutor` — every query's
+        rounds run on the *same* persistent pool.  Default (``None``)
+        uses a shared :class:`~repro.mpc.executor.SerialExecutor`.
+    executor:
+        Alternatively, bring your own executor; the service then does
+        not close it at shutdown.
+    max_concurrent_queries:
+        Admission bound on queries executing rounds at once (further
+        submissions queue on the semaphore, they are not rejected).
+    max_inflight_rounds:
+        Bound on MPC rounds executing machine work simultaneously
+        across all queries — the service-level machine-work throttle.
+    machine_memory_cap:
+        Optional cap (words) on the per-machine memory a query's
+        parameters imply; queries over the cap are rejected at
+        admission.  ``None`` admits any memory limit.
+    data_plane:
+        Publish corpora into shared memory (default).  ``False`` runs
+        copy-payload rounds (descriptor-free), e.g. for A/B tests.
+    check_guarantees:
+        Run the paper's guarantee monitor on every outcome (default;
+        per-submit override available).
+    tracer:
+        Optional tracer shared by every query's simulator and plane.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 executor: Optional[Executor] = None,
+                 max_concurrent_queries: int = 8,
+                 max_inflight_rounds: int = 4,
+                 machine_memory_cap: Optional[int] = None,
+                 data_plane: bool = True,
+                 check_guarantees: bool = True,
+                 tracer: Optional[Tracer] = None) -> None:
+        if executor is not None:
+            self._executor = executor
+            self._owns_executor = False
+        elif max_workers:
+            self._executor = ProcessPoolExecutor(max_workers=max_workers)
+            self._owns_executor = True
+        else:
+            self._executor = SerialExecutor()
+            self._owns_executor = True
+        self._max_concurrent_queries = max_concurrent_queries
+        self._max_inflight_rounds = max_inflight_rounds
+        self._machine_memory_cap = machine_memory_cap
+        self._data_plane = data_plane
+        self._check_guarantees = check_guarantees
+        self._tracer = tracer
+        self._corpora: Dict[str, Corpus] = {}
+        self._handles: Dict[int, QueryHandle] = {}
+        self._ids = itertools.count(1)
+        self._query_slots: Optional[asyncio.Semaphore] = None
+        self._round_slots: Optional[asyncio.Semaphore] = None
+        self._closing = False
+        self._closed = False
+
+    # -- introspection -------------------------------------------------
+    @property
+    def executor(self) -> Executor:
+        """The one executor every query's simulator shares."""
+        return self._executor
+
+    def corpus(self, corpus_id: str) -> Corpus:
+        """The registered corpus, or :class:`KeyError`."""
+        return self._corpora[corpus_id]
+
+    @property
+    def inflight(self) -> int:
+        """Queries admitted and not yet finished."""
+        return sum(1 for h in self._handles.values() if not h.done())
+
+    # -- corpus registry -----------------------------------------------
+    def register_corpus(self, s, t) -> str:
+        """Register an input pair; return its content-addressed id.
+
+        Idempotent: registering a pair that hashes to an existing
+        corpus returns the existing id and publishes nothing new.
+        Segments are published lazily — the first query needing a key
+        pays its one-time copy.
+        """
+        if self._closing:
+            raise AdmissionError("service is shutting down")
+        corpus = Corpus(s, t, use_plane=self._data_plane,
+                        tracer=self._tracer)
+        existing = self._corpora.get(corpus.corpus_id)
+        if existing is not None and not existing.closed:
+            corpus.close()
+            return existing.corpus_id
+        self._corpora[corpus.corpus_id] = corpus
+        return corpus.corpus_id
+
+    def release_corpus(self, corpus_id: str) -> None:
+        """Drop the registration reference; segments are unlinked once
+        the last in-flight query against the corpus finishes."""
+        corpus = self._corpora.pop(corpus_id)
+        corpus.release()
+
+    # -- admission / submission ----------------------------------------
+    def submit(self, algo: str, corpus_id: str, *,
+               x: Optional[float] = None, eps: Optional[float] = None,
+               seed: int = 0, config: Optional[object] = None,
+               keep_tuples: bool = False,
+               fault_plan: Optional[FaultPlan] = None,
+               max_attempts: int = 3, on_exhausted: str = "raise",
+               check_guarantees: Optional[bool] = None) -> QueryHandle:
+        """Admit one query; return an awaitable :class:`QueryHandle`.
+
+        Raises :class:`AdmissionError` (before any round runs) when the
+        service is closing, the corpus is unknown, a ulam query targets
+        a corpus with duplicates, or the query's per-machine memory
+        exceeds ``machine_memory_cap``.  Must be called with a running
+        event loop.
+        """
+        if self._closing:
+            raise AdmissionError("service is shutting down")
+        corpus = self._corpora.get(corpus_id)
+        if corpus is None:
+            raise AdmissionError(f"unknown corpus {corpus_id!r}")
+        if algo not in _DEFAULTS:
+            raise AdmissionError(
+                f"unknown algorithm {algo!r} (expected 'ulam' or 'edit')")
+        default_x, default_eps = _DEFAULTS[algo]
+        spec = _QuerySpec(
+            algo=algo, x=default_x if x is None else x,
+            eps=default_eps if eps is None else eps, seed=seed,
+            fault_plan=fault_plan, max_attempts=max_attempts,
+            on_exhausted=on_exhausted,
+            check_guarantees=self._check_guarantees
+            if check_guarantees is None else check_guarantees)
+        try:
+            query = self._make_query(spec, corpus, config, keep_tuples)
+        except ValueError as exc:
+            raise AdmissionError(str(exc)) from exc
+        memory_limit = query.params.memory_limit
+        if self._machine_memory_cap is not None \
+                and memory_limit > self._machine_memory_cap:
+            raise AdmissionError(
+                f"per-machine memory {memory_limit} words exceeds the "
+                f"service cap {self._machine_memory_cap}")
+        query_id = next(self._ids)
+        # The query's corpus reference is taken *now*, synchronously:
+        # releasing the registration right after submit must not unlink
+        # segments under an admitted query whose task has not started.
+        corpus.retain()
+        task = asyncio.get_running_loop().create_task(
+            self._execute(query_id, spec, corpus, query))
+        handle = QueryHandle(query_id, algo, corpus_id, task)
+        self._handles[query_id] = handle
+        task.add_done_callback(
+            lambda _t, qid=query_id: self._handles.pop(qid, None))
+        return handle
+
+    def _make_query(self, spec: _QuerySpec, corpus: Corpus,
+                    config: Optional[object], keep_tuples: bool):
+        # Driver imports stay lazy: the drivers import repro.service
+        # (Corpus, run_query) at module load, so the reverse edge must
+        # resolve at call time to keep the import graph acyclic.
+        if spec.algo == "ulam":
+            from ..ulam.driver import UlamQuery
+            corpus.require_ulam()
+            return UlamQuery(corpus, x=spec.x, eps=spec.eps,
+                             config=config, seed=spec.seed,
+                             keep_tuples=keep_tuples)
+        from ..editdistance.driver import EditQuery
+        return EditQuery(corpus, x=spec.x, eps=spec.eps, config=config,
+                         seed=spec.seed)
+
+    def _make_sim(self, spec: _QuerySpec, memory_limit: Optional[int]):
+        if spec.fault_plan is not None:
+            return ResilientSimulator(
+                memory_limit=memory_limit, executor=self._executor,
+                fault_plan=spec.fault_plan,
+                retry_policy=RetryPolicy(max_attempts=spec.max_attempts),
+                on_exhausted=spec.on_exhausted, tracer=self._tracer)
+        return MPCSimulator(memory_limit=memory_limit,
+                            executor=self._executor, tracer=self._tracer)
+
+    # -- execution -----------------------------------------------------
+    def _semaphores(self):
+        # Created lazily so the service can be constructed outside a
+        # running loop (asyncio.Semaphore binds to the loop at first
+        # await in 3.10 and warns when built loop-less — avoid both).
+        if self._query_slots is None:
+            self._query_slots = asyncio.Semaphore(
+                self._max_concurrent_queries)
+            self._round_slots = asyncio.Semaphore(
+                self._max_inflight_rounds)
+        return self._query_slots, self._round_slots
+
+    @staticmethod
+    def _advance(gen) -> bool:
+        """Run one round in the calling (worker) thread; True = done."""
+        try:
+            next(gen)
+            return False
+        except StopIteration:
+            return True
+
+    async def _execute(self, query_id: int, spec: _QuerySpec,
+                       corpus: Corpus, query) -> QueryOutcome:
+        # The corpus reference was taken in submit(); the finally below
+        # is its sole owner.
+        query_slots, round_slots = self._semaphores()
+        start = time.perf_counter()
+        try:
+            sim = self._make_sim(spec, query.params.memory_limit)
+            async with query_slots:
+                with scoped_snapshot() as scope:
+                    gen = query.steps(sim)
+                    step: Optional[asyncio.Task] = None
+                    try:
+                        while True:
+                            async with round_slots:
+                                step = asyncio.ensure_future(
+                                    asyncio.to_thread(self._advance, gen))
+                                done = await asyncio.shield(step)
+                                step = None
+                            if done:
+                                break
+                    finally:
+                        # A cancelled await leaves the in-flight round
+                        # running in its thread; let it finish before
+                        # finalising the generator (which closes the
+                        # query's scratch plane) so no segment leaks.
+                        if step is not None and not step.done():
+                            try:
+                                await asyncio.shield(step)
+                            except BaseException:
+                                pass
+                        gen.close()
+                result = query.result
+                result.stats.metrics = scope.delta()
+            guarantees = None
+            if spec.check_guarantees:
+                guarantees = await asyncio.to_thread(
+                    self._guarantee_report, spec, corpus, result)
+            return QueryOutcome(
+                query_id=query_id, algo=spec.algo,
+                corpus_id=corpus.corpus_id,
+                params={"n": len(corpus.S), "x": spec.x,
+                        "eps": spec.eps, "seed": spec.seed},
+                distance=result.distance, result=result,
+                latency_seconds=time.perf_counter() - start,
+                guarantees=guarantees)
+        finally:
+            corpus.release()
+
+    @staticmethod
+    def _guarantee_report(spec: _QuerySpec, corpus: Corpus,
+                          result) -> dict:
+        from ..analysis.guarantees import (check_edit_guarantees,
+                                           check_ulam_guarantees)
+        check = check_ulam_guarantees if spec.algo == "ulam" \
+            else check_edit_guarantees
+        return check(corpus.S, corpus.T, result).to_dict()
+
+    # -- shutdown ------------------------------------------------------
+    async def drain(self) -> None:
+        """Wait for every in-flight query (exceptions stay in handles)."""
+        tasks = [h._task for h in list(self._handles.values())]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def close(self) -> None:
+        """Drain, release corpora, stop the pool, assert zero leaks.
+
+        Raises :class:`RuntimeError` when a shared-memory segment
+        survives shutdown — a lifecycle bug upstream must fail loudly
+        here rather than leak past the service.
+        """
+        if self._closed:
+            return
+        self._closing = True
+        await self.drain()
+        for corpus_id in list(self._corpora):
+            corpus = self._corpora.pop(corpus_id)
+            corpus.release()
+            if not corpus.closed:
+                # In-flight references are gone after drain, so a still
+                # open corpus means a refcount bug; force the unlink.
+                corpus.close()
+        if self._owns_executor:
+            self._executor.close()
+        self._closed = True
+        leaked = active_segments()
+        if leaked:
+            raise RuntimeError(
+                "shared-memory segments leaked past service shutdown: "
+                f"{sorted(leaked)}")
+
+    async def __aenter__(self) -> "DistanceService":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

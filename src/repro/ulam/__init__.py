@@ -4,10 +4,10 @@ from .candidates import (CandidateTuple, make_block_payload,
                          run_block_machine)
 from .combine import combine_tuples, run_combine_machine
 from .config import UlamConfig
-from .driver import UlamResult, mpc_ulam
+from .driver import UlamQuery, UlamResult, mpc_ulam
 
 __all__ = [
     "CandidateTuple", "make_block_payload", "run_block_machine",
     "combine_tuples", "run_combine_machine",
-    "UlamConfig", "UlamResult", "mpc_ulam",
+    "UlamConfig", "UlamQuery", "UlamResult", "mpc_ulam",
 ]

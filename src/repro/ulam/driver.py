@@ -10,6 +10,15 @@ character of ``s[ℓ_i, r_i]`` in ``s̄``", which the input loader provides
 the way a MapReduce join would); they are *charged against the machine's
 memory* like all other payload data.
 
+Two entry points share one implementation: :class:`UlamQuery` is the
+resumable form — a query object over a registered
+:class:`~repro.service.corpus.Corpus` whose :meth:`~UlamQuery.steps`
+generator executes one MPC round per step, which is what the
+:class:`~repro.service.DistanceService` multiplexes — and
+:func:`mpc_ulam` is the one-shot wrapper that builds an ephemeral
+corpus and drives the same generator to completion.  Ledgers are
+byte-identical between the two by construction.
+
 Guarantee: the returned value is always a valid upper bound on
 ``ulam(s, s̄)`` (every DP chain is an explicit transformation) and is at
 most ``(1+ε)·ulam(s, s̄)`` with high probability over the hitting-set
@@ -19,24 +28,25 @@ randomness (Theorem 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import Dict, Generator, List, Optional
 
 import numpy as np
 
-from ..metrics import MetricsRegistry, get_registry
+from ..metrics import get_registry
 from ..mpc.accounting import RunStats
 from ..mpc.plan import Pipeline, RoundSpec
-from ..mpc.shm import DataPlane
 from ..mpc.simulator import MPCSimulator
 from ..mpc.sizeof import sizeof
 from ..params import UlamParams
+from ..service.corpus import Corpus
+from ..service.runner import run_query
 from ..strings.ulam import check_duplicate_free
 from .candidates import (CandidateTuple, make_block_part,
                          make_round1_broadcast, run_block_machine)
 from .combine import run_combine_machine
 from .config import UlamConfig
 
-__all__ = ["UlamResult", "mpc_ulam"]
+__all__ = ["UlamResult", "UlamQuery", "mpc_ulam"]
 
 
 @dataclass
@@ -60,14 +70,109 @@ class UlamResult:
         return out
 
 
-def _positions_in_t(S: np.ndarray, pos_t: Dict[int, int]) -> np.ndarray:
-    """``out[j]`` = index of ``S[j]`` inside ``t``, or ``-1`` if absent."""
-    out = np.full(len(S), -1, dtype=np.int64)
-    for j, v in enumerate(S.tolist()):
-        p = pos_t.get(v)
-        if p is not None:
-            out[j] = p
-    return out
+class UlamQuery:
+    """Resumable Ulam query over a registered corpus.
+
+    Construction validates parameters and derives :class:`UlamParams`
+    (so admission control can inspect ``params.memory_limit`` before
+    any round runs); :meth:`steps` is a generator executing one MPC
+    round per ``next()``, yielding the round name, and storing the
+    :class:`UlamResult` on :attr:`result` when exhausted.  Intermediate
+    state (the phase-2 tuple pack) lives on a per-query scratch plane
+    closed when the generator finalises — normal exhaustion, error, or
+    ``close()`` after cancellation all release it.
+    """
+
+    algo = "ulam"
+
+    def __init__(self, corpus: Corpus, x: float = 0.25, eps: float = 0.5,
+                 config: Optional[UlamConfig] = None, seed: int = 0,
+                 keep_tuples: bool = False) -> None:
+        self.corpus = corpus
+        self.params = UlamParams(n=len(corpus.S), x=x, eps=eps)
+        self.config = config or UlamConfig.default()
+        self.seed = seed
+        self.keep_tuples = keep_tuples
+        self.result: Optional[UlamResult] = None
+
+    def steps(self, sim: MPCSimulator) -> Generator[str, None, None]:
+        """Execute the query's two rounds on *sim*, one per step."""
+        corpus = self.corpus
+        S, T = corpus.S, corpus.T
+        n = len(S)
+        params = self.params
+        config = self.config
+
+        # The phase-2 machine must hold every shipped tuple, so the
+        # per-block shipping cap adapts to the memory budget: ship at
+        # most what half the phase-2 machine's memory can hold (6 words
+        # per tuple).
+        if sim.memory_limit is not None:
+            n_blocks = params.n_blocks
+            budget_top_k = max(
+                1, (sim.memory_limit // 2) // (6 * n_blocks))
+            current = config.phase2_top_k
+            if current is None or current > budget_top_k:
+                config = replace(config, phase2_top_k=budget_top_k)
+
+        B = params.block_size
+        u_guesses = params.u_guesses()
+        scratch = corpus.scratch_plane(sim.tracer)
+        try:
+            payloads = []
+            for bi, lo in enumerate(range(0, n, B)):
+                hi = min(lo + B, n)
+                payloads.append(make_block_part(
+                    lo, hi, corpus.slice_positions(lo, hi),
+                    self.seed * (1 << 20) + bi))
+
+            # A ResilientSimulator in drop mode leaves None at dropped
+            # machines' positions; their candidates are simply pruned
+            # by the collector.
+            tuples: List[CandidateTuple] = Pipeline(sim).round(RoundSpec(
+                "ulam/1-candidates", run_block_machine,
+                partitioner=lambda _: payloads,
+                broadcast=make_round1_broadcast(
+                    len(T), params.eps_prime, u_guesses,
+                    params.hitting_rate, config),
+                collector=lambda outs, _: [tup for out in outs
+                                           if out is not None
+                                           for tup in out]))
+            yield "ulam/1-candidates"
+
+            if scratch is not None:
+                # Round 2 ships the whole tuple state to one machine;
+                # pack it into a segment so the payload is a descriptor
+                # too.  The ``words`` override keeps the ledger charging
+                # the tuple list's own sizeof (the packed element count
+                # understates it).
+                packed = np.asarray([v for tup in tuples for v in tup],
+                                    dtype=np.int64)
+                scratch.publish("tuples", packed)
+                tuples_part: object = scratch.slice(
+                    "tuples", 0, len(packed), words=sizeof(tuples))
+            else:
+                tuples_part = tuples
+            answer = Pipeline(sim).round(RoundSpec(
+                "ulam/2-combine", run_combine_machine,
+                partitioner=lambda tups: [{"tuples": tuples_part,
+                                           "n_s": n, "n_t": len(T),
+                                           "mode": "max"}],
+                collector=lambda outs, _: outs[0]), tuples)
+            yield "ulam/2-combine"
+        finally:
+            # The scratch segment must not outlive the query under any
+            # exit path — memory-cap violations, chaos-exhausted
+            # retries, cancellation (generator close), interrupts.
+            if scratch is not None:
+                scratch.close()
+
+        distance = min(int(answer), max(n, len(T)))
+        get_registry().gauge("ulam.phase2_top_k").set(config.phase2_top_k)
+        self.result = UlamResult(
+            distance=distance, n=n, params=params,
+            stats=sim.stats.snapshot(), n_tuples=len(tuples),
+            tuples=tuples if self.keep_tuples else None)
 
 
 def mpc_ulam(s, t, x: float = 0.25, eps: float = 0.5,
@@ -123,87 +228,15 @@ def mpc_ulam(s, t, x: float = 0.25, eps: float = 0.5,
     """
     S = check_duplicate_free(s, "s")
     T = check_duplicate_free(t, "t")
-    n = len(S)
-    params = UlamParams(n=n, x=x, eps=eps)
-    config = config or UlamConfig.default()
+    params = UlamParams(n=len(S), x=x, eps=eps)
     if sim is None:
         sim = MPCSimulator(memory_limit=params.memory_limit)
-
-    # Per-run metrics view: the registry is process-cumulative, so the
-    # run's contribution is the delta between a start mark and the final
-    # snapshot (empty — and free — while metrics are disabled).
-    reg = get_registry()
-    mark = reg.mark() if reg.enabled else None
-
-    # The phase-2 machine must hold every shipped tuple, so the per-block
-    # shipping cap adapts to the memory budget: ship at most what half the
-    # phase-2 machine's memory can hold (6 words per tuple).
-    if sim.memory_limit is not None:
-        n_blocks = params.n_blocks
-        budget_top_k = max(1, (sim.memory_limit // 2) // (6 * n_blocks))
-        current = config.phase2_top_k
-        if current is None or current > budget_top_k:
-            config = replace(config, phase2_top_k=budget_top_k)
-
-    pos_t: Dict[int, int] = {int(v): i for i, v in enumerate(T.tolist())}
-    if len(pos_t) != len(T):  # pragma: no cover - check_duplicate_free ran
-        raise AssertionError("t positions not unique")
-
-    B = params.block_size
-    u_guesses = params.u_guesses()
-    pos_all = _positions_in_t(S, pos_t)
-    plane = DataPlane(tracer=sim.tracer) if data_plane else None
+    corpus = Corpus(S, T, use_plane=data_plane, tracer=sim.tracer)
     try:
-        if plane is not None:
-            plane.publish("positions", pos_all)
-        payloads = []
-        for bi, lo in enumerate(range(0, n, B)):
-            hi = min(lo + B, n)
-            positions = (plane.slice("positions", lo, hi)
-                         if plane is not None else pos_all[lo:hi])
-            payloads.append(make_block_part(
-                lo, hi, positions, seed * (1 << 20) + bi))
-
-        # A ResilientSimulator in drop mode leaves None at dropped
-        # machines' positions; their candidates are simply pruned by the
-        # collector.
-        tuples: List[CandidateTuple] = Pipeline(sim).round(RoundSpec(
-            "ulam/1-candidates", run_block_machine,
-            partitioner=lambda _: payloads,
-            broadcast=make_round1_broadcast(len(T), params.eps_prime,
-                                            u_guesses,
-                                            params.hitting_rate, config),
-            collector=lambda outs, _: [tup for out in outs
-                                       if out is not None for tup in out]))
-
-        if plane is not None:
-            # Round 2 ships the whole tuple state to one machine; pack it
-            # into a segment so the payload is a descriptor too.  The
-            # ``words`` override keeps the ledger charging the tuple
-            # list's own sizeof (the packed element count understates it).
-            packed = np.asarray([v for tup in tuples for v in tup],
-                                dtype=np.int64)
-            plane.publish("tuples", packed)
-            tuples_part: object = plane.slice("tuples", 0, len(packed),
-                                              words=sizeof(tuples))
-        else:
-            tuples_part = tuples
-        answer = Pipeline(sim).round(RoundSpec(
-            "ulam/2-combine", run_combine_machine,
-            partitioner=lambda tups: [{"tuples": tuples_part, "n_s": n,
-                                       "n_t": len(T), "mode": "max"}],
-            collector=lambda outs, _: outs[0]), tuples)
+        query = UlamQuery(corpus, x=x, eps=eps, config=config, seed=seed,
+                          keep_tuples=keep_tuples)
+        return run_query(query, sim)
     finally:
-        # Segments must not outlive the run under any exit path —
-        # memory-cap violations, chaos-exhausted retries, KeyboardInterrupt.
-        if plane is not None:
-            plane.close()
-    distance = min(int(answer), max(n, len(T)))
-
-    stats = sim.stats.snapshot()
-    if mark is not None:
-        reg.gauge("ulam.phase2_top_k").set(config.phase2_top_k)
-        stats.metrics = MetricsRegistry.delta(mark, reg.snapshot())
-    return UlamResult(distance=distance, n=n, params=params,
-                      stats=stats, n_tuples=len(tuples),
-                      tuples=tuples if keep_tuples else None)
+        # One-shot corpora are ephemeral: segments die with the run
+        # under every exit path, exactly like the pre-service driver.
+        corpus.close()

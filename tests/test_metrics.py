@@ -10,7 +10,8 @@ import json
 import pytest
 
 from repro.metrics import (MetricsRegistry, disable, enable, enabled,
-                           get_registry, merge_snapshots, metric_key)
+                           get_registry, merge_snapshots, metric_key,
+                           scoped_snapshot)
 
 
 class TestMetricKey:
@@ -216,3 +217,111 @@ class TestGlobalRegistry:
             reg.counter("scoped").inc(2)
         snap = get_registry().snapshot()
         assert snap["scoped"]["value"] == 2
+
+
+class TestScopedSnapshot:
+    def test_scope_collects_writes_in_delta_format(self):
+        enable()
+        with scoped_snapshot() as scope:
+            get_registry().counter("sc.c").inc(3)
+            get_registry().gauge("sc.g").set(7)
+            get_registry().histogram("sc.h").observe(2)
+            get_registry().histogram("sc.h").observe(5)
+        assert scope.delta() == {
+            "sc.c": {"type": "counter", "value": 3},
+            "sc.g": {"type": "gauge", "value": 7},
+            "sc.h": {"type": "histogram", "count": 2, "sum": 7,
+                     "min": 2, "max": 5},
+        }
+
+    def test_writes_outside_scope_excluded(self):
+        enable()
+        get_registry().counter("sc.before").inc(10)
+        with scoped_snapshot() as scope:
+            get_registry().counter("sc.inside").inc(1)
+        get_registry().counter("sc.after").inc(10)
+        assert list(scope.delta()) == ["sc.inside"]
+
+    def test_disabled_registry_records_nothing(self):
+        assert not get_registry().enabled
+        with scoped_snapshot() as scope:
+            get_registry().counter("sc.c").inc(5)
+        assert scope.delta() == {}
+
+    def test_scopes_nest(self):
+        enable()
+        with scoped_snapshot() as outer:
+            get_registry().counter("sc.c").inc(1)
+            with scoped_snapshot() as inner:
+                get_registry().counter("sc.c").inc(2)
+        assert outer.delta()["sc.c"]["value"] == 3
+        assert inner.delta()["sc.c"]["value"] == 2
+
+    def test_windowed_histogram_extremes_are_exact(self):
+        # The registry saw an earlier extreme observation; the scope's
+        # min/max must reflect only the window (unlike mark()/delta(),
+        # whose extremes are cumulative).
+        enable()
+        get_registry().histogram("sc.h").observe(1000)
+        with scoped_snapshot() as scope:
+            get_registry().histogram("sc.h").observe(4)
+        assert scope.delta()["sc.h"]["min"] == 4
+        assert scope.delta()["sc.h"]["max"] == 4
+
+    def test_concurrent_threads_do_not_bleed(self):
+        # Each thread starts with its own context, so a scope opened in
+        # one worker never sees another worker's increments even though
+        # all of them hammer the same shared counter handle.
+        import threading
+
+        enable()
+        deltas = {}
+        barrier = threading.Barrier(4)
+
+        def worker(wid: int) -> None:
+            barrier.wait()
+            with scoped_snapshot() as scope:
+                for _ in range(200):
+                    get_registry().counter("sc.shared").inc()
+                get_registry().counter("sc.mine", w=wid).inc(wid)
+            deltas[wid] = scope.delta()
+
+        threads = [threading.Thread(target=worker, args=(w,))
+                   for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for wid in range(4):
+            delta = deltas[wid]
+            assert delta["sc.shared"]["value"] == 200
+            mine = [k for k in delta if k.startswith("sc.mine")]
+            assert mine == ([f"sc.mine{{w={wid}}}"] if wid else [])
+        # The shared registry still holds the cumulative total.
+        snap = get_registry().snapshot()
+        assert snap["sc.shared"]["value"] == 800
+
+    def test_overlapping_async_tasks_get_exact_deltas(self):
+        # The service execution pattern: concurrent tasks, each wrapping
+        # its work in one scope and hopping through asyncio.to_thread
+        # (which copies the ambient context into the worker thread).
+        import asyncio
+
+        enable()
+
+        async def query(amount: int) -> dict:
+            with scoped_snapshot() as scope:
+                for _ in range(3):
+                    await asyncio.to_thread(
+                        lambda: get_registry().counter("sc.q").inc(amount))
+                    await asyncio.sleep(0)
+            return scope.delta()
+
+        async def main():
+            return await asyncio.gather(query(1), query(10), query(100))
+
+        one, ten, hundred = asyncio.run(main())
+        assert one["sc.q"]["value"] == 3
+        assert ten["sc.q"]["value"] == 30
+        assert hundred["sc.q"]["value"] == 300

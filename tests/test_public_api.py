@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.analysis",
     "repro.extensions",
+    "repro.service",
 ]
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]

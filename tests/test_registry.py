@@ -101,6 +101,36 @@ class TestHistoryIO:
         path.write_text("\n" + json.dumps(_record()) + "\n\n")
         assert len(read_history(str(path))) == 1
 
+    def test_interleaved_writers_never_tear(self, tmp_path):
+        # Concurrent service queries append run records to one history
+        # file; each append must be a single O_APPEND write so records
+        # from racing writers interleave whole, never mid-line.
+        import threading
+
+        path = str(tmp_path / "h.jsonl")
+        n_writers, per_writer = 8, 25
+        barrier = threading.Barrier(n_writers)
+
+        def writer(wid: int) -> None:
+            barrier.wait()
+            for i in range(per_writer):
+                # A bulky record makes torn multi-write appends likely
+                # enough to catch if append_record ever regresses.
+                append_record(path, _record(
+                    seed=wid * 1000 + i, pad="x" * 2048))
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(n_writers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        records = read_history(path)
+        assert len(records) == n_writers * per_writer
+        seeds = {r["params"]["seed"] for r in records}
+        assert len(seeds) == n_writers * per_writer
+
 
 class TestBaselines:
     def test_record_key_identity(self):
@@ -133,7 +163,8 @@ class TestBaselines:
     def test_committed_baseline_is_loadable(self):
         # The repository ships BENCH_table1.json as the CI baseline.
         records = load_baseline("BENCH_table1.json")
-        assert {r["command"] for r in records} == {"ulam", "edit"}
+        assert {r["command"] for r in records} \
+            == {"ulam", "edit", "serve-bench"}
         for r in records:
             for metric in GATED_METRICS:
                 assert isinstance(r["summary"][metric], int), metric

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Enforce the MPC-layer API boundaries (stdlib only, CI-friendly).
 
-Four rules:
+Five rules:
 
 * Algorithm drivers must submit rounds through :mod:`repro.mpc.plan`
   (``Pipeline``/``RoundSpec``/``run_plan``) so that shuffle volume and
@@ -23,6 +23,13 @@ Four rules:
   refcounting).  Everything else publishes through
   :class:`repro.mpc.DataPlane` and ships :class:`~repro.mpc.SharedSlice`
   descriptors, so a leaked segment can only ever be a data-plane bug.
+* Worker pools and data planes (``ProcessPoolExecutor``/``DataPlane``)
+  may be constructed only inside ``repro/mpc`` and ``repro/service``:
+  the service layer multiplexes every query over *one* executor and
+  *one* plane per corpus, so ad-hoc pool/plane construction in drivers
+  or tools would silently fork that resource model.  The executor A/B
+  benchmark and the cluster example are the sanctioned stand-alone
+  exceptions.
 
 Exit status 0 when clean; 1 with a per-offence listing otherwise.
 
@@ -79,6 +86,20 @@ RULES = {
         "repro.mpc.DataPlane and ship SharedSlice descriptors "
         "(resolve_payload runs inside execute_task).",
     ),
+    "pool-plane-construction": (
+        re.compile(r"\b(?:DataPlane|ProcessPoolExecutor)\s*\("),
+        ("src", "benchmarks", "examples"),
+        # The executor A/B benchmark and the cluster example exercise
+        # pool construction itself; test fixtures are exempt wholesale.
+        ("src/repro/mpc/", "src/repro/service/",
+         "benchmarks/bench_executor_speedup.py",
+         "examples/cluster_simulation.py"),
+        "worker-pool / data-plane construction outside repro.mpc and "
+        "repro.service",
+        "One executor and one plane per corpus: go through "
+        "repro.service (DistanceService / run_workload) or accept a "
+        "ready simulator instead of constructing pools or planes.",
+    ),
 }
 
 #: Union of every rule's scan dirs (computed, not configured).
@@ -121,8 +142,9 @@ def main(argv):
             print(hint)
         return 1
     print("API boundary clean: no direct run_round calls, sink "
-          "constructions, metrics mutation, or raw shared_memory use "
-          "outside their sanctioned modules")
+          "constructions, metrics mutation, raw shared_memory use, or "
+          "pool/data-plane construction outside their sanctioned "
+          "modules")
     return 0
 
 
