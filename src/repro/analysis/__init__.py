@@ -2,9 +2,9 @@
 report rendering."""
 
 from .guarantees import (GuaranteeCheck, GuaranteeReport,
-                         check_edit_guarantees, check_ulam_guarantees,
-                         format_guarantees, machine_budget,
-                         reference_distance)
+                         check_approx_guarantees, check_edit_guarantees,
+                         check_ulam_guarantees, format_guarantees,
+                         machine_budget, reference_distance)
 from .report import (format_communication, format_kv, format_recovery,
                      format_skew, format_table, format_timeline)
 from .scaling import PowerLawFit, fit_power_law
@@ -17,5 +17,5 @@ __all__ = ["format_communication", "format_kv", "format_recovery",
            "RoundSkew", "TimelineRow", "round_skew", "timeline_rows",
            "work_decomposition",
            "GuaranteeCheck", "GuaranteeReport", "check_ulam_guarantees",
-           "check_edit_guarantees", "format_guarantees", "machine_budget",
-           "reference_distance"]
+           "check_edit_guarantees", "check_approx_guarantees",
+           "format_guarantees", "machine_budget", "reference_distance"]

@@ -42,7 +42,8 @@ from ..strings.types import as_array
 
 __all__ = ["GuaranteeCheck", "GuaranteeReport", "reference_distance",
            "machine_budget", "check_ulam_guarantees",
-           "check_edit_guarantees", "format_guarantees"]
+           "check_edit_guarantees", "check_approx_guarantees",
+           "format_guarantees"]
 
 #: Default cap on band·n work for the reference-distance DP (~a second
 #: of NumPy row DP); beyond it the ratio check degrades to the certified
@@ -249,6 +250,42 @@ def check_edit_guarantees(s, t, result,
                              for r in result.stats.rounds)
     report.checks.append(
         _rounds_check(result.stats, 4 + int(has_equality_round)))
+    return report
+
+
+def check_approx_guarantees(s, t, distance: int, stats: RunStats, *,
+                            algorithm: str, factor: float,
+                            memory_limit: Optional[int] = None,
+                            machines_bound: Optional[int] = None,
+                            machines_label: str = "",
+                            rounds_bound: Optional[int] = None,
+                            work_cap: int = DEFAULT_WORK_CAP
+                            ) -> GuaranteeReport:
+    """Generic checker for registry engines (exact / AKO / CGKS / ...).
+
+    Every engine promises *some* approximation factor — ``1.0`` for the
+    exact engines, a constant for CGKS-style solvers, ``polylog(n)`` for
+    AKO-style ones — verified through the same certified
+    :func:`reference_distance` route as the paper's theorems, so a new
+    guarantee class is one ``factor`` expression away from being a
+    checkable verdict.  Resource bounds are optional: pass
+    ``memory_limit`` / ``machines_bound`` / ``rounds_bound`` when the
+    engine makes those promises (single-machine engines pass 1 / 1).
+    """
+    report = GuaranteeReport(algorithm=algorithm)
+    report.checks.append(
+        _ratio_check(s, t, distance, factor, work_cap))
+    if memory_limit is not None:
+        report.checks.append(_memory_check(stats, memory_limit))
+    if machines_bound is not None:
+        report.checks.append(GuaranteeCheck(
+            name="machine_count",
+            passed=stats.max_machines <= machines_bound,
+            measured=stats.max_machines, bound=machines_bound,
+            detail=f"max machines in any round vs "
+                   f"{machines_label or machines_bound}"))
+    if rounds_bound is not None:
+        report.checks.append(_rounds_check(stats, rounds_bound))
     return report
 
 

@@ -2,6 +2,12 @@
 
 Commands
 --------
+``solve``   answer a distance query through the engine registry:
+            ``--engine auto`` plans the cheapest admissible engine for
+            the (distance, n, guarantee) point, ``--engine <name>``
+            pins one.
+``engines`` list every registered engine with its capabilities
+            (distances, regime, guarantee class, cost model).
 ``ulam``    run the Theorem-4 Ulam algorithm on a generated permutation
             pair (or two files) and print the resource ledger.
 ``edit``    run the Theorem-9 edit-distance algorithm likewise.
@@ -10,11 +16,17 @@ Commands
 ``hss``     run the HSS'19 baseline for comparison.
 ``beghs``   run the BEGHS'18-style O(log n)-round baseline.
 ``table1``  print all four analytic Table 1 rows for a given (n, x).
-``chaos``   run ``ulam``/``edit`` under a seeded fault plan and print
+``chaos``   run a registry engine under a seeded fault plan and print
             the per-round recovery ledger.
 ``trace``   render timeline/skew reports from a saved JSONL span trace
             (``--chrome`` additionally exports a Perfetto-loadable
             Chrome trace-event file).
+
+Every algorithm subcommand resolves through :mod:`repro.engines` —
+``ulam``/``edit``/``hss``/``beghs`` are thin aliases for the engine of
+the same regime, and their ``--algo`` choice lists are derived from the
+registry, so a newly registered engine is reachable from every CLI
+surface without touching this file.
 
 ``serve``       run a batch of concurrent mixed ulam/edit queries
                 through the persistent :mod:`repro.service` layer (one
@@ -57,20 +69,37 @@ import json
 import sys
 from typing import List, Optional
 
-import numpy as np
-
 from .analysis import format_kv, format_table
-from .baselines import beghs_edit_distance, hss_edit_distance, table1_rows
-from .editdistance import mpc_edit_distance
+from .engines import (EngineRequest, NoEngineError, all_engines,
+                      default_engine, distances, get_engine,
+                      select_engine)
 from .extensions import mpc_lcs, mpc_lis
-from .params import EditParams, UlamParams
 from .strings import levenshtein, ulam_distance
 from .strings.types import as_array
-from .ulam import mpc_ulam
 from .workloads.permutations import planted_pair as perm_pair
 from .workloads.strings import planted_pair as str_pair
 
 __all__ = ["main", "build_parser"]
+
+#: Per-distance (x, eps) defaults of the *plain* subcommands (``ulam``
+#: runs the paper-plot configuration x=0.4; engines' own defaults are
+#: the driver defaults).  Distances without an entry fall back to the
+#: canonical engine's capabilities.
+_CLI_DEFAULTS = {"ulam": (0.4, 0.5), "edit": (0.25, 1.0)}
+
+#: The E23 serve-bench alternation.  This is a frozen benchmark
+#: definition (the regression gate replays its ledger), not a dispatch
+#: surface — new engines/distances join ``serve --algo`` via the
+#: registry-derived choice list instead.
+_MIXED_CYCLE = ("ulam", "edit")
+
+
+def _cli_defaults(distance: str):
+    """(x, eps) defaults for *distance* subcommands/aliases."""
+    if distance in _CLI_DEFAULTS:
+        return _CLI_DEFAULTS[distance]
+    caps = default_engine(distance).caps
+    return caps.default_x, caps.default_eps
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -146,14 +175,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--realtime", action="store_true",
                        help="stragglers really sleep their inflation")
 
+    ulam_x, ulam_eps = _cli_defaults("ulam")
+    edit_x, edit_eps = _cli_defaults("edit")
     p_ulam = sub.add_parser("ulam", help="Theorem 4 (1+eps, 2 rounds)")
-    common(p_ulam, default_x=0.4, default_eps=0.5)
+    common(p_ulam, default_x=ulam_x, default_eps=ulam_eps)
     data_plane_opts(p_ulam)
     chaos_opts(p_ulam)
     telemetry_opts(p_ulam)
     registry_opts(p_ulam)
     p_edit = sub.add_parser("edit", help="Theorem 9 (3+eps, <=4 rounds)")
-    common(p_edit, default_x=0.25, default_eps=1.0)
+    common(p_edit, default_x=edit_x, default_eps=edit_eps)
     data_plane_opts(p_edit)
     chaos_opts(p_edit)
     telemetry_opts(p_edit)
@@ -162,11 +193,45 @@ def build_parser() -> argparse.ArgumentParser:
            default_x=0.25, default_eps=0.25)
     common(sub.add_parser("lis", help="LIS extension (2 rounds)"),
            default_x=0.3, default_eps=0.25)
-    common(sub.add_parser("hss", help="HSS'19 baseline (1+eps, 2 rounds)"),
-           default_x=0.25, default_eps=1.0)
-    common(sub.add_parser(
-        "beghs", help="BEGHS'18 baseline (1+eps, O(log n) rounds)"),
-        default_x=0.25, default_eps=1.0)
+    p_hss = sub.add_parser("hss", help="HSS'19 baseline (1+eps, 2 rounds)")
+    common(p_hss, default_x=0.25, default_eps=1.0)
+    registry_opts(p_hss)
+    p_beghs = sub.add_parser(
+        "beghs", help="BEGHS'18 baseline (1+eps, O(log n) rounds)")
+    common(p_beghs, default_x=0.25, default_eps=1.0)
+    registry_opts(p_beghs)
+
+    engine_names = tuple(e.caps.name for e in all_engines())
+    guarantee_classes = tuple(sorted(
+        {e.caps.guarantee_class for e in all_engines()}))
+    so = sub.add_parser(
+        "solve", help="answer a distance query through the engine "
+                      "registry (--engine auto plans the cheapest "
+                      "admissible engine)")
+    so.add_argument("--distance", choices=distances(), default="edit",
+                    help="distance to compute (default edit)")
+    so.add_argument("--engine", default="auto",
+                    choices=("auto",) + engine_names,
+                    help="engine to run, or 'auto' to let the planner "
+                         "pick (default auto)")
+    so.add_argument("--guarantee", choices=guarantee_classes,
+                    default=None,
+                    help="minimum guarantee class auto-selection must "
+                         "honour (e.g. 1+eps excludes polylog engines)")
+    # x/eps default to the resolved engine's own defaults.
+    common(so, default_x=None, default_eps=None)
+    data_plane_opts(so)
+    chaos_opts(so)
+    telemetry_opts(so)
+    registry_opts(so)
+
+    en = sub.add_parser(
+        "engines", help="list the registered distance engines and "
+                        "their capabilities")
+    en.add_argument("--distance", choices=distances(), default=None,
+                    help="only engines answering this distance")
+    en.add_argument("--json", action="store_true",
+                    help="print capability records as JSON")
 
     t1 = sub.add_parser("table1", help="print the analytic Table 1 rows")
     t1.add_argument("--n", type=int, default=10 ** 6)
@@ -175,7 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     ch = sub.add_parser(
         "chaos", help="run an algorithm under a fault plan and print "
                       "the recovery ledger")
-    ch.add_argument("--algo", choices=("ulam", "edit"), default="ulam",
+    ch.add_argument("--algo", choices=distances(), default="ulam",
                     help="which algorithm to exercise (default ulam)")
     # x/eps default to the chosen algorithm's own defaults (resolved
     # after parsing, once --algo is known).
@@ -190,9 +255,15 @@ def build_parser() -> argparse.ArgumentParser:
                       "persistent distance service")
     sv.add_argument("--queries", type=int, default=20,
                     help="number of concurrent queries (default 20)")
-    sv.add_argument("--algo", choices=("mixed", "ulam", "edit"),
+    sv.add_argument("--algo", choices=("mixed",) + distances(),
                     default="mixed",
                     help="workload mix (default: alternate ulam/edit)")
+    sv.add_argument("--engine", default=None,
+                    choices=engine_names,
+                    help="pin every query to this engine (default: the "
+                         "canonical MPC engine per distance); admission "
+                         "control rejects engines whose capabilities "
+                         "don't match the corpus")
     sv.add_argument("--n", type=int, default=256,
                     help="generated input length (default 256)")
     sv.add_argument("--budget", type=int, default=None,
@@ -242,6 +313,8 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="PATH", help="history file to read")
     hi.add_argument("--limit", type=int, default=20,
                     help="show at most the newest N records (default 20)")
+    hi.add_argument("--engine", type=str, default=None, metavar="NAME",
+                    help="only show records produced by this engine")
     hi.add_argument("--json", action="store_true",
                     help="print raw JSON records instead of the table")
 
@@ -257,6 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--tolerance", type=float, default=None,
                     help="relative regression tolerance on gated "
                          "metrics (default 0.15)")
+    cp.add_argument("--engine", type=str, default=None, metavar="NAME",
+                    help="only compare history records produced by "
+                         "this engine")
 
     tr = sub.add_parser(
         "trace", help="render timeline and skew reports from a saved "
@@ -400,39 +476,39 @@ def _effective_budget(args) -> Optional[int]:
     return args.budget if args.budget is not None else args.n // 16
 
 
-def _finish_run(args, command: str, res, s, t,
+def _finish_run(args, command: str, engine, eres, s, t,
                 exact: Optional[int],
                 extra: Optional[dict] = None) -> int:
-    """Shared tail of the ``ulam``/``edit``/``chaos`` subcommands.
+    """Shared tail of every engine-running subcommand.
 
-    Runs the guarantee checks (``--check-guarantees``), assembles the
-    run record, appends it to the history (unless ``--no-history``) and
-    prints it (``--json``) or the guarantee verdict (human mode).
-    Returns the process exit code (1 on guarantee violation).
+    Runs the guarantee checks (``--check-guarantees``) — the checker
+    comes from the *resolved engine's* capabilities, never from string
+    matching on the subcommand name — assembles the run record (tagged
+    with the engine), appends it to the history (unless
+    ``--no-history``) and prints it (``--json``) or the guarantee
+    verdict (human mode).  Returns the process exit code (1 on
+    guarantee violation).
     """
     from .registry import append_record, make_record
     report = None
     if args.check_guarantees:
-        from .analysis import (check_edit_guarantees,
-                               check_ulam_guarantees, format_guarantees)
-        algo = getattr(args, "algo", command)
-        checker = check_ulam_guarantees if algo == "ulam" \
-            else check_edit_guarantees
-        report = checker(s, t, res)
-    summary = {"distance": res.distance}
+        from .analysis import format_guarantees
+        report = engine.check_guarantees(s, t, eres)
+    summary = {"distance": eres.distance}
     if exact is not None:
         summary["exact"] = exact
         if exact:
-            summary["ratio"] = round(res.distance / exact, 4)
-        elif res.distance == 0:
+            summary["ratio"] = round(eres.distance / exact, 4)
+        elif eres.distance == 0:
             summary["ratio"] = 1.0
-    summary.update(res.stats.summary())
-    params = {"n": len(s), "x": args.x, "eps": args.eps,
+    summary.update(eres.stats.summary())
+    params = {"n": len(s), "x": eres.params.get("x"),
+              "eps": eres.params.get("eps"),
               "seed": args.seed, "budget": _effective_budget(args)}
     record = make_record(
         command, params, summary,
         guarantees=report.to_dict() if report is not None else None,
-        extra=extra)
+        extra=extra, engine=eres.engine)
     if not args.no_history:
         append_record(args.history, record)
     if args.json:
@@ -445,29 +521,42 @@ def _finish_run(args, command: str, res, s, t,
 
 def _service_workload(n: int, budget: int, seed: int, queries: int,
                       algo: str, x: Optional[float],
-                      eps: Optional[float]) -> List[dict]:
+                      eps: Optional[float],
+                      engine: Optional[str] = None) -> List[dict]:
     """Build the query dicts for ``serve`` / ``serve-bench``.
 
-    Two generated corpora back the whole batch — a planted permutation
-    pair (ulam queries) and a planted string pair (edit queries) — so
-    the service's content addressing publishes each at most once no
-    matter how many queries run.  Query ``i`` uses ``seed + i`` so the
-    batch exercises distinct sampling randomness deterministically.
+    One generated corpus per input *kind* backs the whole batch — the
+    registry says whether a distance needs a duplicate-free permutation
+    pair or a plain string pair — so the service's content addressing
+    publishes each at most once no matter how many queries run.  Query
+    ``i`` uses ``seed + i`` so the batch exercises distinct sampling
+    randomness deterministically.
     """
-    s_p, t_p, _ = perm_pair(n, budget, seed=seed, style="mixed")
-    s_s, t_s, _ = str_pair(n, budget, sigma=4, seed=seed)
+    from .engines import workload_kind
+    pairs: dict = {}
+
+    def corpus_for(distance: str):
+        kind = workload_kind(distance)
+        if kind not in pairs:
+            if kind == "perm":
+                s, t, _ = perm_pair(n, budget, seed=seed, style="mixed")
+            else:
+                s, t, _ = str_pair(n, budget, sigma=4, seed=seed)
+            pairs[kind] = (s, t)
+        return pairs[kind]
+
     out: List[dict] = []
     for i in range(queries):
-        if algo == "mixed":
-            q_algo = "ulam" if i % 2 == 0 else "edit"
-        else:
-            q_algo = algo
-        s, t = (s_p, t_p) if q_algo == "ulam" else (s_s, t_s)
+        q_algo = _MIXED_CYCLE[i % len(_MIXED_CYCLE)] if algo == "mixed" \
+            else algo
+        s, t = corpus_for(q_algo)
         q: dict = {"algo": q_algo, "s": s, "t": t, "seed": seed + i}
         if x is not None:
             q["x"] = x
         if eps is not None:
             q["eps"] = eps
+        if engine is not None:
+            q["engine"] = engine
         out.append(q)
     return out
 
@@ -516,10 +605,44 @@ def _serve_latency_report(outcomes, wall: float) -> dict:
     }
 
 
+def _execute_engine(args, engine, distance: str, s, t, label: str):
+    """Run *engine* on ``(s, t)`` under the CLI-configured simulator.
+
+    The simulator is built from the chaos/telemetry flags with the
+    engine's own memory cap; absent any flag it stays ``None`` and the
+    engine builds its canonical simulator — exactly the pre-registry
+    driver behaviour, so ledgers are unchanged by the port.
+    """
+    caps = engine.caps
+    x = getattr(args, "x", None)
+    eps = getattr(args, "eps", None)
+    mem = engine.memory_limit(
+        len(s), x if x is not None else caps.default_x,
+        eps if eps is not None else caps.default_eps)
+    sim = _build_sim(args, mem)
+    request = EngineRequest(
+        distance=distance, s=s, t=t, x=x, eps=eps, seed=args.seed,
+        sim=sim, data_plane=not getattr(args, "no_data_plane", False))
+    eres = _run_traced(sim, label, lambda: engine.solve(request))
+    return eres, sim
+
+
+def _exact_distance(distance: str, s, t) -> int:
+    return ulam_distance(s, t) if distance == "ulam" \
+        else levenshtein(s, t)
+
+
+def _generate_kind(distance: str) -> str:
+    """Input kind for *distance* from the canonical engine's regime."""
+    from .engines import workload_kind
+    return workload_kind(distance)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "table1":
+        from .baselines.theory import table1_rows
         rows = table1_rows(args.n, args.x)
         print(f"Table 1 at n = {args.n}, x = {args.x}:")
         print(format_table(
@@ -532,99 +655,125 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "ulam":
         _enable_metrics()
+        engine = default_engine("ulam")
         s, t = _load_or_generate(args, "perm")
-        sim = _build_sim(
-            args, UlamParams(n=len(s), x=args.x, eps=args.eps).memory_limit)
-        res = _run_traced(sim, "ulam",
-                          lambda: mpc_ulam(s, t, x=args.x, eps=args.eps,
-                                           seed=args.seed, sim=sim,
-                                           data_plane=not
-                                           args.no_data_plane))
-        exact = ulam_distance(s, t) if args.exact else None
+        eres, sim = _execute_engine(args, engine, "ulam", s, t, "ulam")
+        exact = _exact_distance("ulam", s, t) if args.exact else None
         if not args.json:
-            _print_result("MPC Ulam distance (Theorem 4)", res.distance,
-                          exact, res.stats,
-                          {"guarantee": f"1+{args.eps}"},
-                          show_comm=args.comm)
-        code = _finish_run(args, "ulam", res, s, t, exact)
+            _print_result(engine.caps.title, eres.distance, exact,
+                          eres.stats, eres.extra, show_comm=args.comm)
+        code = _finish_run(args, "ulam", engine, eres, s, t, exact)
         _finish_telemetry(sim, args)
         return code
 
     if args.command == "edit":
         _enable_metrics()
+        engine = default_engine("edit")
         s, t = _load_or_generate(args, "str")
-        sim = _build_sim(
-            args, EditParams(n=max(len(s), 2), x=args.x,
-                             eps=args.eps).memory_limit)
-        res = _run_traced(sim, "edit",
-                          lambda: mpc_edit_distance(s, t, x=args.x,
-                                                    eps=args.eps,
-                                                    seed=args.seed,
-                                                    sim=sim,
-                                                    data_plane=not
-                                                    args.no_data_plane))
-        exact = levenshtein(s, t) if args.exact else None
+        eres, sim = _execute_engine(args, engine, "edit", s, t, "edit")
+        exact = _exact_distance("edit", s, t) if args.exact else None
         if not args.json:
-            _print_result("MPC edit distance (Theorem 9)", res.distance,
-                          exact, res.stats,
-                          {"guarantee": f"3+{args.eps}",
-                           "regime": res.regime,
-                           "accepted_guess": res.accepted_guess},
-                          show_comm=args.comm)
-        code = _finish_run(args, "edit", res, s, t, exact,
-                           extra={"regime": res.regime,
-                                  "accepted_guess": res.accepted_guess})
+            _print_result(engine.caps.title, eres.distance, exact,
+                          eres.stats, eres.extra, show_comm=args.comm)
+        code = _finish_run(args, "edit", engine, eres, s, t, exact,
+                           extra={"regime": eres.extra["regime"],
+                                  "accepted_guess":
+                                      eres.extra["accepted_guess"]})
         _finish_telemetry(sim, args)
         return code
+
+    if args.command == "solve":
+        _enable_metrics()
+        s, t = _load_or_generate(args, _generate_kind(args.distance))
+        if args.engine == "auto":
+            from .registry import read_history
+            request = EngineRequest(
+                distance=args.distance, s=s, t=t, x=args.x,
+                eps=args.eps, guarantee=args.guarantee)
+            try:
+                engine = select_engine(
+                    request, history=read_history(args.history))
+            except NoEngineError as exc:
+                raise SystemExit(f"solve: {exc}")
+        else:
+            engine = get_engine(args.engine)
+        eres, sim = _execute_engine(args, engine, args.distance, s, t,
+                                    f"solve-{engine.caps.name}")
+        exact = _exact_distance(args.distance, s, t) if args.exact \
+            else None
+        if not args.json:
+            _print_result(
+                f"solve[{eres.engine}] — {engine.caps.title}",
+                eres.distance, exact, eres.stats, eres.extra,
+                show_comm=args.comm)
+        code = _finish_run(args, "solve", engine, eres, s, t, exact,
+                           extra={"distance": args.distance,
+                                  "engine_spec": args.engine})
+        _finish_telemetry(sim, args)
+        return code
+
+    if args.command == "engines":
+        engines = all_engines()
+        if args.distance:
+            engines = [e for e in engines
+                       if e.caps.supports(args.distance)]
+        if args.json:
+            for e in engines:
+                c = e.caps
+                print(json.dumps(
+                    {"name": c.name, "title": c.title,
+                     "distances": list(c.distances),
+                     "guarantee": c.guarantee,
+                     "guarantee_class": c.guarantee_class,
+                     "model": c.model, "regime": c.regime.describe(),
+                     "rounds": c.cost.rounds,
+                     "work_exponent": c.cost.work_exponent,
+                     "default_x": c.default_x,
+                     "default_eps": c.default_eps,
+                     "primary": c.primary}, sort_keys=True))
+            return 0
+        rows = []
+        for e in engines:
+            c = e.caps
+            cost = f"n^{c.cost.work_exponent:g}"
+            if c.cost.log_power:
+                cost += f"*log^{c.cost.log_power:g}"
+            rows.append([c.name, ",".join(c.distances), c.guarantee,
+                         c.model, c.regime.describe(), cost,
+                         "*" if c.primary else ""])
+        print(format_table(
+            ["engine", "distances", "guarantee", "model", "regime",
+             "cost", "paper"], rows))
+        return 0
 
     if args.command == "chaos":
         from .analysis import format_recovery
         _enable_metrics()
         if args.fault_plan is None:
             args.fault_plan = "crash=0.1,straggle=0.1x4"
-        # Match the plain `ulam` / `edit` subcommands' defaults unless
-        # the user overrode them.
+        # Match the plain per-distance subcommands' defaults unless the
+        # user overrode them.
+        default_x, default_eps = _cli_defaults(args.algo)
         if args.x is None:
-            args.x = 0.4 if args.algo == "ulam" else 0.25
+            args.x = default_x
         if args.eps is None:
-            args.eps = 0.5 if args.algo == "ulam" else 1.0
-        if args.algo == "ulam":
-            s, t = _load_or_generate(args, "perm")
-            sim = _build_sim(
-                args,
-                UlamParams(n=len(s), x=args.x, eps=args.eps).memory_limit)
-            res = _run_traced(sim, "chaos-ulam",
-                              lambda: mpc_ulam(s, t, x=args.x,
-                                               eps=args.eps,
-                                               seed=args.seed, sim=sim,
-                                               data_plane=not
-                                               args.no_data_plane))
-            exact = ulam_distance(s, t) if args.exact else None
-            title = "Chaos run: MPC Ulam distance (Theorem 4)"
-        else:
-            s, t = _load_or_generate(args, "str")
-            sim = _build_sim(
-                args, EditParams(n=max(len(s), 2), x=args.x,
-                                 eps=args.eps).memory_limit)
-            res = _run_traced(sim, "chaos-edit",
-                              lambda: mpc_edit_distance(s, t, x=args.x,
-                                                        eps=args.eps,
-                                                        seed=args.seed,
-                                                        sim=sim,
-                                                        data_plane=not
-                                                        args.no_data_plane))
-            exact = levenshtein(s, t) if args.exact else None
-            title = "Chaos run: MPC edit distance (Theorem 9)"
+            args.eps = default_eps
+        engine = default_engine(args.algo)
+        s, t = _load_or_generate(args, _generate_kind(args.algo))
+        eres, sim = _execute_engine(args, engine, args.algo, s, t,
+                                    f"chaos-{args.algo}")
+        exact = _exact_distance(args.algo, s, t) if args.exact else None
         if not args.json:
-            _print_result(title, res.distance, exact, res.stats,
+            _print_result(f"Chaos run: {engine.caps.title}",
+                          eres.distance, exact, eres.stats,
                           {"fault_plan": sim.fault_plan.to_spec(),
                            "retries": args.retries,
                            "on_exhausted": args.on_exhausted})
             print()
             print("Recovery ledger")
             print("---------------")
-            print(format_recovery(res.stats))
-        code = _finish_run(args, "chaos", res, s, t, exact,
+            print(format_recovery(eres.stats))
+        code = _finish_run(args, "chaos", engine, eres, s, t, exact,
                            extra={"algo": args.algo,
                                   "fault_plan": sim.fault_plan.to_spec(),
                                   "retries": args.retries,
@@ -639,7 +788,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         budget = args.budget if args.budget is not None else args.n // 16
         queries = _service_workload(args.n, budget, args.seed,
                                     args.queries, args.algo,
-                                    args.x, args.eps)
+                                    args.x, args.eps,
+                                    engine=args.engine)
         outcomes, wall = run_workload(
             queries, max_workers=args.workers or None,
             max_concurrent_queries=args.max_queries,
@@ -667,7 +817,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     guarantees=o.guarantees,
                     extra={"algo": o.algo, "query_id": o.query_id,
                            "latency_seconds":
-                               round(o.latency_seconds, 6)})
+                               round(o.latency_seconds, 6)},
+                    engine=o.engine)
                 append_record(args.history, record)
         if args.json:
             batch = make_record(
@@ -747,10 +898,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if guarantees is None or guarantees["passed"] else 1
 
     if args.command == "history":
-        from .registry import format_record, read_history
+        from .registry import format_record, read_history, record_engine
         records = read_history(args.history)
+        if args.engine:
+            records = [r for r in records
+                       if record_engine(r) == args.engine]
         if not records:
-            print(f"no run history at {args.history}")
+            where = args.history + (f" for engine {args.engine}"
+                                    if args.engine else "")
+            print(f"no run history at {where}")
             return 0
         shown = records[-args.limit:] if args.limit else records
         if args.json:
@@ -766,13 +922,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "compare":
         from .registry import (REGRESSION_TOLERANCE, compare_records,
                                format_comparison, load_baseline,
-                               read_history, record_key)
+                               read_history, record_engine, record_key)
         tolerance = args.tolerance if args.tolerance is not None \
             else REGRESSION_TOLERANCE
         baseline = load_baseline(args.baseline)
         if not baseline:
             raise SystemExit(f"{args.baseline}: no baseline records")
         history = read_history(args.history)
+        if args.engine:
+            history = [r for r in history
+                       if record_engine(r) == args.engine]
         any_regression = False
         any_match = False
         for base in baseline:
@@ -844,24 +1003,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "beghs":
+        _enable_metrics()
+        engine = get_engine("beghs")
         s, t = _load_or_generate(args, "str")
-        res = beghs_edit_distance(s, t, eps=args.eps)
-        exact = levenshtein(s, t) if args.exact else None
-        _print_result("BEGHS'18 baseline edit distance", res.distance,
-                      exact, res.stats,
-                      {"guarantee": f"1+O({args.eps})",
-                       "tree_depth": res.depth},
-                      show_comm=args.comm)
-        return 0
+        eres, sim = _execute_engine(args, engine, "edit", s, t, "beghs")
+        exact = _exact_distance("edit", s, t) if args.exact else None
+        if not args.json:
+            _print_result(engine.caps.title, eres.distance, exact,
+                          eres.stats, eres.extra, show_comm=args.comm)
+        return _finish_run(args, "beghs", engine, eres, s, t, exact)
 
     if args.command == "hss":
+        _enable_metrics()
+        engine = get_engine("hss")
         s, t = _load_or_generate(args, "str")
-        res = hss_edit_distance(s, t, x=args.x, eps=args.eps)
-        exact = levenshtein(s, t) if args.exact else None
-        _print_result("HSS'19 baseline edit distance", res.distance,
-                      exact, res.stats, {"guarantee": f"1+{args.eps}"},
-                      show_comm=args.comm)
-        return 0
+        eres, sim = _execute_engine(args, engine, "edit", s, t, "hss")
+        exact = _exact_distance("edit", s, t) if args.exact else None
+        if not args.json:
+            _print_result(engine.caps.title, eres.distance, exact,
+                          eres.stats, eres.extra, show_comm=args.comm)
+        return _finish_run(args, "hss", engine, eres, s, t, exact)
 
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 

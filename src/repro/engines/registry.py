@@ -1,0 +1,210 @@
+"""Engine registry and query planner.
+
+The registry maps engine names to :class:`~repro.engines.base.Engine`
+instances and indexes their :class:`~repro.engines.base.EngineCaps` by
+``(distance, regime, guarantee)`` so the planner can answer "which
+engines *could* run this query" without touching any driver module.
+
+``select_engine`` is the planner: it filters the registered engines down
+to those whose capabilities admit the request (distance supported, ``n``
+inside the regime, duplicate-free precondition met, guarantee at least
+as strong as asked) and ranks the survivors by predicted total work —
+measured run history (:mod:`repro.registry`) when records for an engine
+exist, the engine's analytic :class:`~repro.engines.base.CostModel`
+otherwise.  Ties break toward the stronger guarantee, then the paper's
+primary engines, then name.  An unsatisfiable request raises the typed
+:class:`NoEngineError` (a ``LookupError``) listing each engine's refusal
+reason, never a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .base import (Engine, EngineRequest, guarantee_strength)
+
+__all__ = ["NoEngineError", "register", "get_engine", "all_engines",
+           "engines_for", "distances", "default_engine", "select_engine",
+           "workload_kind"]
+
+
+class NoEngineError(LookupError):
+    """No registered engine satisfies a request.
+
+    Carries the per-engine refusal reasons so callers (CLI, service
+    admission control) can report *why* instead of a bare lookup miss.
+    """
+
+    def __init__(self, message: str,
+                 reasons: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(message)
+        self.reasons = dict(reasons or {})
+
+
+_REGISTRY: Dict[str, Engine] = {}
+
+
+def register(engine: Engine) -> Engine:
+    """Add *engine* to the registry (idempotent per name; last wins)."""
+    _REGISTRY[engine.caps.name] = engine
+    return engine
+
+
+def _ensure_builtins() -> None:
+    # Deferred so `import repro.engines.registry` never drags driver
+    # modules in before they are needed, and so builtin registration
+    # cannot recurse through this module's own import.
+    if not _REGISTRY:
+        from . import builtin  # noqa: F401  (registers on import)
+
+
+def get_engine(name: str) -> Engine:
+    """Engine by exact name; typed error listing what exists."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise NoEngineError(
+            f"no engine named {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY))}") from None
+
+
+def all_engines() -> List[Engine]:
+    """Every registered engine, sorted by name (stable for CLI tables)."""
+    _ensure_builtins()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def engines_for(distance: str) -> List[Engine]:
+    """Engines whose capabilities include *distance*."""
+    return [e for e in all_engines() if e.caps.supports(distance)]
+
+
+def distances() -> Tuple[str, ...]:
+    """Sorted tuple of every distance some engine answers — the single
+    source of the CLI ``--algo``/``--distance`` choice lists."""
+    return tuple(sorted({d for e in all_engines()
+                         for d in e.caps.distances}))
+
+
+def default_engine(distance: str) -> Engine:
+    """The canonical engine for *distance*: the paper's primary MPC
+    driver when one exists (Theorems 4/9), preserving the pre-registry
+    behaviour of the ``ulam``/``edit`` subcommands and the service."""
+    primaries = [e for e in engines_for(distance) if e.caps.primary]
+    if primaries:
+        return primaries[0]
+    candidates = engines_for(distance)
+    if not candidates:
+        raise NoEngineError(f"no engine answers distance {distance!r}; "
+                            f"known distances: {', '.join(distances())}")
+    return candidates[0]
+
+
+def workload_kind(distance: str) -> str:
+    """Input kind the canonical engine for *distance* needs:
+    ``"perm"`` (duplicate-free permutations) or ``"str"``."""
+    caps = default_engine(distance).caps
+    return "perm" if caps.regime.requires_duplicate_free else "str"
+
+
+# ---------------------------------------------------------------------------
+# Planner
+
+def _history_work(history: Iterable[dict], name: str,
+                  exponent: float, n: int) -> Optional[float]:
+    """Predicted work at size *n* from measured records of *name*.
+
+    Picks the record whose size is closest to *n* (log-ratio) and scales
+    its measured ``total_work`` by ``(n/n_rec)^exponent``.  Records
+    without the ``engine`` field (pre-registry history) are ignored.
+    """
+    best: Optional[Tuple[float, float]] = None
+    for rec in history:
+        if rec.get("engine") != name:
+            continue
+        n_rec = (rec.get("params") or {}).get("n")
+        work = (rec.get("summary") or {}).get("total_work")
+        if not n_rec or not work:
+            continue
+        gap = abs(math.log(max(n, 2) / max(int(n_rec), 2)))
+        scaled = float(work) * (max(n, 2) / max(int(n_rec), 2)) ** exponent
+        if best is None or gap < best[0]:
+            best = (gap, scaled)
+    return None if best is None else best[1]
+
+
+def select_engine(request: EngineRequest, policy: str = "auto",
+                  history: Optional[Iterable[dict]] = None) -> Engine:
+    """Pick the cheapest engine whose capabilities admit *request*.
+
+    ``policy="auto"`` ranks every admissible engine by predicted work;
+    ``policy="paper"`` restricts to this paper's primary MPC engines
+    first (falling back to auto when none is admissible).  *history* is
+    an iterable of :mod:`repro.registry` records; when it holds measured
+    runs for a candidate engine they override the analytic cost model.
+    """
+    from ..strings.ulam import is_duplicate_free
+
+    _ensure_builtins()
+    n = max(len(request.s), len(request.t))
+    want = None if request.guarantee is None \
+        else guarantee_strength(request.guarantee)
+    dup_free: Optional[bool] = None
+    reasons: Dict[str, str] = {}
+    candidates: List[Engine] = []
+    for eng in all_engines():
+        caps = eng.caps
+        if not caps.supports(request.distance):
+            reasons[caps.name] = \
+                f"does not answer {request.distance!r} distance"
+            continue
+        if want is not None and \
+                guarantee_strength(caps.guarantee_class) > want:
+            reasons[caps.name] = (
+                f"guarantee {caps.guarantee_class} weaker than "
+                f"requested {request.guarantee}")
+            continue
+        refusal = caps.regime.admits_n(n)
+        if refusal:
+            reasons[caps.name] = refusal
+            continue
+        if caps.regime.requires_duplicate_free:
+            if dup_free is None:
+                dup_free = bool(is_duplicate_free(request.s)
+                                and is_duplicate_free(request.t))
+            if not dup_free:
+                reasons[caps.name] = "input is not duplicate-free"
+                continue
+        if request.x is not None and caps.regime.max_x is not None \
+                and not 0 < request.x < caps.regime.max_x:
+            reasons[caps.name] = (
+                f"x={request.x} outside (0, {caps.regime.max_x})")
+            continue
+        candidates.append(eng)
+    if not candidates:
+        detail = "; ".join(f"{k}: {v}" for k, v in sorted(reasons.items()))
+        raise NoEngineError(
+            f"no engine satisfies distance={request.distance!r} n={n}"
+            + (f" guarantee>={request.guarantee}" if request.guarantee
+               else "") + f" ({detail})", reasons)
+
+    if policy == "paper":
+        primaries = [e for e in candidates if e.caps.primary]
+        if primaries:
+            candidates = primaries
+    elif policy != "auto":
+        raise ValueError(f"unknown selection policy {policy!r}")
+
+    hist = list(history) if history is not None else []
+
+    def rank(eng: Engine):
+        caps = eng.caps
+        work = _history_work(hist, caps.name, caps.cost.work_exponent, n)
+        if work is None:
+            work = caps.cost.predicted_work(n)
+        return (work, guarantee_strength(caps.guarantee_class),
+                not caps.primary, caps.name)
+
+    return min(candidates, key=rank)

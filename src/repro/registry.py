@@ -31,7 +31,8 @@ from typing import Dict, List, Optional, Tuple
 
 __all__ = ["SCHEMA_VERSION", "DEFAULT_HISTORY_PATH", "GATED_METRICS",
            "REGRESSION_TOLERANCE", "git_sha", "utc_timestamp",
-           "make_record", "append_record", "read_history", "record_key",
+           "make_record", "record_engine", "append_record", "read_history",
+           "record_key",
            "load_baseline", "match_baseline", "compare_records",
            "format_record", "format_comparison"]
 
@@ -82,12 +83,16 @@ def utc_timestamp() -> str:
 def make_record(command: str, params: Dict[str, object],
                 summary: Dict[str, object],
                 guarantees: Optional[dict] = None,
-                extra: Optional[Dict[str, object]] = None) -> dict:
+                extra: Optional[Dict[str, object]] = None,
+                engine: Optional[str] = None) -> dict:
     """Assemble one run record (plain JSON-serialisable dict).
 
     ``params`` is the run's identity (n, x, eps, seed, budget, ...);
     ``summary`` the result summary — distance plus the RunStats ledger
     (and its ``metrics`` block when metrics collection was on).
+    ``engine`` names the registry engine that produced the run; records
+    predating the engine registry simply lack the field, and every
+    reader treats it as optional (:func:`record_engine`).
     """
     record = {
         "schema": SCHEMA_VERSION,
@@ -97,11 +102,20 @@ def make_record(command: str, params: Dict[str, object],
         "params": dict(params),
         "summary": dict(summary),
     }
+    if engine is not None:
+        record["engine"] = engine
     if guarantees is not None:
         record["guarantees"] = guarantees
     if extra:
         record.update(extra)
     return record
+
+
+def record_engine(record: dict) -> Optional[str]:
+    """The engine that produced *record*, or ``None`` for records
+    predating the engine registry (tolerant read)."""
+    engine = record.get("engine")
+    return engine if isinstance(engine, str) else None
 
 
 def append_record(path: str, record: dict) -> None:
@@ -231,15 +245,24 @@ def format_record(record: dict) -> str:
     params = record.get("params", {})
     summary = record.get("summary", {})
     sha = (record.get("git_sha") or "-")[:10]
-    parts = [f"{record.get('timestamp', '-'):<20}",
-             f"{record.get('command', '-'):<6}",
-             f"n={params.get('n', '-'):<7}",
-             f"x={params.get('x', '-'):<5}",
-             f"eps={params.get('eps', '-'):<5}",
-             f"seed={params.get('seed', '-'):<3}",
-             f"d={summary.get('distance', '-'):<7}",
-             f"work={summary.get('total_work', '-'):<12}",
+
+    def get(mapping, key):
+        # Single-machine engines legitimately record x/eps as null.
+        value = mapping.get(key)
+        return "-" if value is None else value
+
+    parts = [f"{get(record, 'timestamp'):<20}",
+             f"{get(record, 'command'):<6}",
+             f"n={get(params, 'n'):<7}",
+             f"x={get(params, 'x'):<5}",
+             f"eps={get(params, 'eps'):<5}",
+             f"seed={get(params, 'seed'):<3}",
+             f"d={get(summary, 'distance'):<7}",
+             f"work={get(summary, 'total_work'):<12}",
              f"sha={sha}"]
+    engine = record_engine(record)
+    if engine is not None:
+        parts.append(f"engine={engine}")
     g = record.get("guarantees")
     if g is not None:
         parts.append("guarantees=" + ("PASS" if g.get("passed") else "FAIL"))

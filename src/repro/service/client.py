@@ -71,7 +71,9 @@ def run_workload(queries: Sequence[Dict[str, object]],
     """Run a batch of queries through one service; return outcomes + wall.
 
     Each query dict carries ``{"algo": "ulam"|"edit", "s": ..., "t":
-    ...}`` plus optional ``x``/``eps``/``seed``/``config``/
+    ...}`` plus optional ``engine`` (a registry engine name or
+    ``"auto"``; default: the distance's canonical engine) and
+    ``x``/``eps``/``seed``/``config``/
     ``fault_plan``/``max_attempts``/``on_exhausted``.  Identical
     ``(s, t)`` pairs share one corpus (content addressing), so a warm
     workload pays one publish per distinct pair no matter how many
@@ -96,9 +98,9 @@ def run_workload(queries: Sequence[Dict[str, object]],
             for q in queries:
                 corpus_id = service.register_corpus(q["s"], q["t"])
                 kwargs = {k: q[k] for k in
-                          ("x", "eps", "seed", "config", "keep_tuples",
-                           "fault_plan", "max_attempts", "on_exhausted",
-                           "check_guarantees") if k in q}
+                          ("engine", "x", "eps", "seed", "config",
+                           "keep_tuples", "fault_plan", "max_attempts",
+                           "on_exhausted", "check_guarantees") if k in q}
                 handles.append(service.submit(q["algo"], corpus_id,
                                               **kwargs))
             outcomes = list(await asyncio.gather(*handles))

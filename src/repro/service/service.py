@@ -7,15 +7,22 @@ single persistent executor and per-corpus shared-memory segments:
   (content-addressed — re-registering the same pair is a no-op returning
   the same id; reference-counted — segments outlive every in-flight
   query but not the service);
-* :meth:`~DistanceService.submit` admits a query (unknown corpus,
-  ulam-incompatible corpus, per-machine memory above the service cap,
-  or a closing service all raise :class:`AdmissionError` *before* any
-  round runs) and returns an awaitable :class:`QueryHandle`;
-* every query is a resumable generator (``UlamQuery.steps`` /
-  ``EditQuery.steps``) advanced one MPC round at a time in a worker
-  thread, with a semaphore bounding how many rounds' machine work is in
-  flight at once — the service-level analogue of the paper's per-round
-  machine budget;
+* :meth:`~DistanceService.submit` resolves the query to a registry
+  engine (:mod:`repro.engines`) — the distance's canonical engine by
+  default, a named engine or the ``"auto"`` planner on request — and
+  admits it against the engine's capabilities (unknown corpus, a
+  distance the engine does not answer, an input outside the engine's
+  regime, a duplicate-carrying corpus for a duplicate-free engine,
+  per-machine memory above the service cap, or a closing service all
+  raise :class:`AdmissionError` *before* any round runs), returning an
+  awaitable :class:`QueryHandle`;
+* every query is a resumable generator (the engine's
+  :meth:`~repro.engines.Engine.make_query` — the native ``UlamQuery`` /
+  ``EditQuery`` for the paper's drivers, a one-step
+  :class:`~repro.engines.SolveStepQuery` for everything else) advanced
+  one MPC round at a time in a worker thread, with a semaphore bounding
+  how many rounds' machine work is in flight at once — the
+  service-level analogue of the paper's per-round machine budget;
 * per-query ledgers come from the query's own simulator and a
   :func:`~repro.metrics.scoped_snapshot`, so concurrent queries never
   bleed into each other's :class:`~repro.mpc.accounting.RunStats` or
@@ -43,6 +50,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..engines import (Engine, EngineRequest, NoEngineError,
+                       default_engine, distances, get_engine,
+                       select_engine)
 from ..metrics import scoped_snapshot
 from ..mpc.executor import Executor, ProcessPoolExecutor, SerialExecutor
 from ..mpc.faults import FaultPlan
@@ -54,9 +64,6 @@ from .corpus import Corpus
 
 __all__ = ["AdmissionError", "QueryOutcome", "QueryHandle",
            "DistanceService"]
-
-#: Per-algorithm (x, eps) defaults, matching the one-shot drivers.
-_DEFAULTS = {"ulam": (0.25, 0.5), "edit": (0.25, 1.0)}
 
 
 class AdmissionError(RuntimeError):
@@ -82,6 +89,7 @@ class QueryOutcome:
     result: object
     latency_seconds: float
     guarantees: Optional[dict] = None
+    engine: str = ""
 
     @property
     def stats(self):
@@ -113,13 +121,14 @@ class QueryHandle:
     :meth:`cancel`).
     """
 
-    __slots__ = ("query_id", "algo", "corpus_id", "_task")
+    __slots__ = ("query_id", "algo", "corpus_id", "engine", "_task")
 
     def __init__(self, query_id: int, algo: str, corpus_id: str,
-                 task: "asyncio.Task") -> None:
+                 task: "asyncio.Task", engine: str = "") -> None:
         self.query_id = query_id
         self.algo = algo
         self.corpus_id = corpus_id
+        self.engine = engine
         self._task = task
 
     def __await__(self):
@@ -135,7 +144,7 @@ class QueryHandle:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self._task.done() else "running"
         return (f"QueryHandle(#{self.query_id} {self.algo} "
-                f"corpus={self.corpus_id} {state})")
+                f"engine={self.engine} corpus={self.corpus_id} {state})")
 
 
 @dataclass
@@ -143,14 +152,19 @@ class _QuerySpec:
     """Internal record of one admitted query's configuration."""
 
     algo: str
-    x: float
-    eps: float
+    engine: Engine
+    x: Optional[float]
+    eps: Optional[float]
     seed: int
     fault_plan: Optional[FaultPlan] = None
     max_attempts: int = 3
     on_exhausted: str = "raise"
     check_guarantees: bool = True
     extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def engine_name(self) -> str:
+        return self.engine.caps.name
 
 
 class DistanceService:
@@ -260,6 +274,7 @@ class DistanceService:
 
     # -- admission / submission ----------------------------------------
     def submit(self, algo: str, corpus_id: str, *,
+               engine: Optional[str] = None,
                x: Optional[float] = None, eps: Optional[float] = None,
                seed: int = 0, config: Optional[object] = None,
                keep_tuples: bool = False,
@@ -268,34 +283,46 @@ class DistanceService:
                check_guarantees: Optional[bool] = None) -> QueryHandle:
         """Admit one query; return an awaitable :class:`QueryHandle`.
 
+        ``engine`` picks the registry engine answering the query:
+        ``None`` (default) resolves the distance's canonical engine —
+        the paper's MPC driver, exactly the pre-registry behaviour —
+        ``"auto"`` asks :func:`repro.engines.select_engine` to plan the
+        cheapest admissible engine for this corpus, and any other value
+        is an engine name (``repro engines`` lists them).
+
         Raises :class:`AdmissionError` (before any round runs) when the
-        service is closing, the corpus is unknown, a ulam query targets
-        a corpus with duplicates, or the query's per-machine memory
-        exceeds ``machine_memory_cap``.  Must be called with a running
-        event loop.
+        service is closing, the corpus is unknown, the engine does not
+        answer ``algo`` or refuses the corpus (size outside its regime,
+        duplicates where it requires duplicate-free input), or the
+        query's per-machine memory exceeds ``machine_memory_cap``.
+        Must be called with a running event loop.
         """
         if self._closing:
             raise AdmissionError("service is shutting down")
         corpus = self._corpora.get(corpus_id)
         if corpus is None:
             raise AdmissionError(f"unknown corpus {corpus_id!r}")
-        if algo not in _DEFAULTS:
+        if algo not in distances():
             raise AdmissionError(
-                f"unknown algorithm {algo!r} (expected 'ulam' or 'edit')")
-        default_x, default_eps = _DEFAULTS[algo]
+                f"unknown algorithm {algo!r} "
+                f"(expected one of {', '.join(distances())})")
+        eng = self._resolve_engine(algo, engine, corpus,
+                                   x=x, eps=eps, seed=seed)
+        self._admit_caps(eng, algo, corpus, x)
         spec = _QuerySpec(
-            algo=algo, x=default_x if x is None else x,
-            eps=default_eps if eps is None else eps, seed=seed,
+            algo=algo, engine=eng, x=x, eps=eps, seed=seed,
             fault_plan=fault_plan, max_attempts=max_attempts,
             on_exhausted=on_exhausted,
             check_guarantees=self._check_guarantees
             if check_guarantees is None else check_guarantees)
         try:
-            query = self._make_query(spec, corpus, config, keep_tuples)
+            query = eng.make_query(corpus, x=x, eps=eps, seed=seed,
+                                   config=config, keep_tuples=keep_tuples)
         except ValueError as exc:
             raise AdmissionError(str(exc)) from exc
         memory_limit = query.params.memory_limit
         if self._machine_memory_cap is not None \
+                and memory_limit is not None \
                 and memory_limit > self._machine_memory_cap:
             raise AdmissionError(
                 f"per-machine memory {memory_limit} words exceeds the "
@@ -307,26 +334,53 @@ class DistanceService:
         corpus.retain()
         task = asyncio.get_running_loop().create_task(
             self._execute(query_id, spec, corpus, query))
-        handle = QueryHandle(query_id, algo, corpus_id, task)
+        handle = QueryHandle(query_id, algo, corpus_id, task,
+                             engine=spec.engine_name)
         self._handles[query_id] = handle
         task.add_done_callback(
             lambda _t, qid=query_id: self._handles.pop(qid, None))
         return handle
 
-    def _make_query(self, spec: _QuerySpec, corpus: Corpus,
-                    config: Optional[object], keep_tuples: bool):
-        # Driver imports stay lazy: the drivers import repro.service
-        # (Corpus, run_query) at module load, so the reverse edge must
-        # resolve at call time to keep the import graph acyclic.
-        if spec.algo == "ulam":
-            from ..ulam.driver import UlamQuery
-            corpus.require_ulam()
-            return UlamQuery(corpus, x=spec.x, eps=spec.eps,
-                             config=config, seed=spec.seed,
-                             keep_tuples=keep_tuples)
-        from ..editdistance.driver import EditQuery
-        return EditQuery(corpus, x=spec.x, eps=spec.eps, config=config,
-                         seed=spec.seed)
+    @staticmethod
+    def _resolve_engine(algo: str, engine: Optional[str], corpus: Corpus,
+                        *, x: Optional[float], eps: Optional[float],
+                        seed: int) -> Engine:
+        try:
+            if engine is None:
+                return default_engine(algo)
+            if engine == "auto":
+                request = EngineRequest(distance=algo, s=corpus.S,
+                                        t=corpus.T, x=x, eps=eps,
+                                        seed=seed)
+                return select_engine(request)
+            return get_engine(engine)
+        except NoEngineError as exc:
+            raise AdmissionError(str(exc)) from exc
+
+    @staticmethod
+    def _admit_caps(eng: Engine, algo: str, corpus: Corpus,
+                    x: Optional[float]) -> None:
+        """Capability-based admission: the engine must answer ``algo``
+        and accept this corpus, checked before any round runs."""
+        caps = eng.capabilities()
+        if not caps.supports(algo):
+            raise AdmissionError(
+                f"engine {caps.name!r} answers "
+                f"{', '.join(caps.distances)}, not {algo!r}")
+        refusal = caps.regime.admits_n(len(corpus.S))
+        if refusal is not None:
+            raise AdmissionError(f"engine {caps.name!r}: {refusal}")
+        if caps.regime.requires_duplicate_free:
+            try:
+                corpus.require_ulam()
+            except ValueError as exc:
+                raise AdmissionError(str(exc)) from exc
+        x_eff = x if x is not None else caps.default_x
+        if caps.regime.max_x is not None and x_eff is not None \
+                and not 0 < x_eff <= caps.regime.max_x:
+            raise AdmissionError(
+                f"engine {caps.name!r}: x={x_eff} outside "
+                f"(0, {caps.regime.max_x}]")
 
     def _make_sim(self, spec: _QuerySpec, memory_limit: Optional[int]):
         if spec.fault_plan is not None:
@@ -397,25 +451,26 @@ class DistanceService:
             if spec.check_guarantees:
                 guarantees = await asyncio.to_thread(
                     self._guarantee_report, spec, corpus, result)
+            caps = spec.engine.caps
+            x_eff = spec.x if spec.x is not None else caps.default_x
+            eps_eff = spec.eps if spec.eps is not None \
+                else caps.default_eps
             return QueryOutcome(
                 query_id=query_id, algo=spec.algo,
                 corpus_id=corpus.corpus_id,
-                params={"n": len(corpus.S), "x": spec.x,
-                        "eps": spec.eps, "seed": spec.seed},
+                params={"n": len(corpus.S), "x": x_eff,
+                        "eps": eps_eff, "seed": spec.seed},
                 distance=result.distance, result=result,
                 latency_seconds=time.perf_counter() - start,
-                guarantees=guarantees)
+                guarantees=guarantees, engine=spec.engine_name)
         finally:
             corpus.release()
 
     @staticmethod
     def _guarantee_report(spec: _QuerySpec, corpus: Corpus,
                           result) -> dict:
-        from ..analysis.guarantees import (check_edit_guarantees,
-                                           check_ulam_guarantees)
-        check = check_ulam_guarantees if spec.algo == "ulam" \
-            else check_edit_guarantees
-        return check(corpus.S, corpus.T, result).to_dict()
+        return spec.engine.check_guarantees(
+            corpus.S, corpus.T, result).to_dict()
 
     # -- shutdown ------------------------------------------------------
     async def drain(self) -> None:

@@ -16,6 +16,7 @@ from .fitting import fitting_alignment, fitting_distance, fitting_last_row
 from .hirschberg import hirschberg_script
 from .lcs import lcs_length, lcs_length_duplicate_free, position_map
 from .lis import lis_indices, lis_length, longest_increasing_subsequence
+from .polylog import ako_edit_upper_bound, ako_guarantee_factor, ako_window
 from .transform import EditOp, apply_script, gap_script, script_cost
 from .types import INF, StringLike, as_array
 from .ulam import (check_duplicate_free, is_duplicate_free, local_ulam,
@@ -31,6 +32,7 @@ __all__ = [
     "hirschberg_script",
     "lcs_length", "lcs_length_duplicate_free", "position_map",
     "lis_indices", "lis_length", "longest_increasing_subsequence",
+    "ako_edit_upper_bound", "ako_guarantee_factor", "ako_window",
     "EditOp", "apply_script", "gap_script", "script_cost",
     "INF", "StringLike", "as_array",
     "check_duplicate_free", "is_duplicate_free", "local_ulam",

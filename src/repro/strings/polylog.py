@@ -1,0 +1,132 @@
+"""AKO-style near-linear polylog-approximate edit distance.
+
+Andoni–Krauthgamer–Onak (FOCS'10, arXiv:1005.4033) approximate edit
+distance within a polylogarithmic factor in near-linear time by
+hierarchically partitioning the input and inspecting only a sparse,
+geometrically-spaced set of candidate alignments per part.  This module
+implements a solver in that spirit, sized so the total work is
+``O(n · polylog n)`` rather than the ``O(n^1.5)`` of the CGKS-style
+windowed solver (:mod:`repro.strings.approx`):
+
+1. split ``a`` into windows of ``⌈log₂ n⌉²`` characters (polylog-sized,
+   so there are ``n / polylog`` of them — the level of the AKO hierarchy
+   where the partition becomes near-linear),
+2. for each window, evaluate candidate substrings of ``b`` at
+   geometrically-spaced start shifts × geometrically-spaced lengths —
+   ``O(log² n)`` candidates per window, all lengths for one start read
+   off a single DP last row over a ``O(polylog)``-sized chunk,
+3. chain one candidate per window with the monotone DP, paying
+   insertions for skipped gaps of ``b``.
+
+The chained value is the cost of an explicit transformation, hence
+**always a valid upper bound** on ``ed(a, b)``; the approximation factor
+is polylogarithmic — :func:`ako_guarantee_factor` is the checkable bound
+the guarantee monitor verifies (benchmark E24 tracks the measured ratio,
+which is far tighter in practice).
+
+Work: ``(n/w) · O(log n) starts · O(w²)`` per-row DP with ``w = log² n``
+gives ``O(n · log³ n)`` — near-linear, with the large polylog constant
+the cost model (:mod:`repro.engines`) is honest about: the scheme only
+out-runs quadratic DP beyond ``n ≈ 10⁴``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..mpc.accounting import add_work
+from ..mpc.partition import blocks
+from .approx import geometric_offsets
+from .edit_distance import levenshtein_last_row
+from .types import INF, StringLike, as_array
+
+__all__ = ["ako_edit_upper_bound", "ako_guarantee_factor", "ako_window"]
+
+
+def ako_window(n: int) -> int:
+    """Polylog window size ``⌈log₂ n⌉²`` (clamped into ``[1, n]``)."""
+    if n <= 1:
+        return 1
+    return max(1, min(n, int(math.ceil(math.log2(n))) ** 2))
+
+
+def ako_guarantee_factor(n: int, eps: float = 0.5) -> float:
+    """Checkable approximation bound: ``(1+ε) · max(log₂ n, 2)²``.
+
+    Deliberately generous — AKO's analysis gives
+    ``(log n)^O(1/ε)`` — so the guarantee monitor verdict reflects the
+    *class* (polylog) rather than a tuned constant; E24 records how much
+    tighter the measured ratio is.
+    """
+    return (1.0 + eps) * max(math.log2(max(n, 2)), 2.0) ** 2
+
+
+def ako_edit_upper_bound(a: StringLike, b: StringLike,
+                         eps: float = 0.5,
+                         window: int | None = None) -> int:
+    """Near-linear polylog-approximate upper bound on ``ed(a, b)``.
+
+    Parameters
+    ----------
+    a, b:
+        Input strings.
+    eps:
+        Grid resolution: smaller = denser shift/length grids = tighter
+        bound and more (still polylog) work per window.
+    window:
+        Window size override (default :func:`ako_window`).
+    """
+    A, B = as_array(a), as_array(b)
+    m, n = len(A), len(B)
+    if m == 0 or n == 0:
+        return m + n
+    w = window or ako_window(max(m, n))
+    shifts = geometric_offsets(n, eps)
+
+    per_window: List[List[Tuple[int, int, int]]] = []
+    for lo, hi in blocks(m, w):
+        wlen = hi - lo
+        span = 2 * wlen  # candidate lengths live in [0, 2·wlen]
+        cands: List[Tuple[int, int, int]] = []
+        seen = set()
+        for shift in shifts:
+            st = lo + shift
+            if st < 0 or st > n or st in seen:
+                continue
+            seen.add(st)
+            chunk = B[st:st + span]
+            row = levenshtein_last_row(A[lo:hi], chunk)
+            lengths = {0, min(wlen, len(chunk))}
+            for off in geometric_offsets(span, eps):
+                L = wlen + off
+                if 0 <= L <= len(chunk):
+                    lengths.add(L)
+            for L in lengths:
+                cands.append((st, st + L, int(row[L])))
+        # Catch-all: delete the window at the far right so the chain DP
+        # stays feasible whatever the earlier windows chose.
+        cands.append((n, n, wlen))
+        per_window.append(cands)
+
+    # Monotone chain DP: one candidate per window, in order, insertions
+    # paid for skipped gaps of ``b``.
+    prev = np.array([st + cost for st, _, cost in per_window[0]],
+                    dtype=np.int64)
+    prev_ends = np.array([en for _, en, _ in per_window[0]],
+                         dtype=np.int64)
+    for cands in per_window[1:]:
+        cur = np.full(len(cands), INF, dtype=np.int64)
+        add_work(len(cands) * len(prev))
+        for ci, (st, en, cost) in enumerate(cands):
+            feasible = prev_ends <= st
+            if feasible.any():
+                gaps = st - prev_ends
+                best = int(np.where(feasible, prev + gaps, INF).min())
+                cur[ci] = best + cost
+        prev = cur
+        prev_ends = np.array([en for _, en, _ in cands], dtype=np.int64)
+    answer = int((prev + (n - prev_ends)).min())
+    return min(answer, m + n)

@@ -504,3 +504,107 @@ class TestServeCommands:
         assert len(records) == 1
         assert records[0]["command"] == "serve-bench"
         assert len(records[0]["per_query"]) == 2
+
+
+class TestEngineCommands:
+    """The `solve` / `engines` subcommands and registry-derived CLI."""
+
+    def test_solve_auto_answers_both_distances(self, capsys):
+        for distance in ("ulam", "edit"):
+            assert main(["solve", "--distance", distance, "--n", "96",
+                         "--budget", "4", "--no-history",
+                         "--check-guarantees"]) == 0
+            out = capsys.readouterr().out
+            assert "solve[" in out
+            assert "PASS" in out
+
+    def test_solve_named_engine_record_carries_engine(self, capsys):
+        assert main(["solve", "--distance", "edit", "--engine",
+                     "cgks-subquadratic", "--n", "96", "--budget", "4",
+                     "--json", "--no-history"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["command"] == "solve"
+        assert record["engine"] == "cgks-subquadratic"
+        assert record["engine_spec"] == "cgks-subquadratic"
+        assert record["distance"] == "edit"
+        assert record["summary"]["total_work"] > 0
+
+    def test_solve_guarantee_floor_steers_auto(self, capsys):
+        assert main(["solve", "--distance", "edit", "--n", "96",
+                     "--budget", "4", "--guarantee", "1+eps",
+                     "--json", "--no-history"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        from repro.engines import get_engine
+        cls = get_engine(record["engine"]).caps.guarantee_class
+        assert cls in ("exact", "1+eps")
+
+    def test_solve_rejects_unknown_engine_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["solve", "--engine", "no-such-engine"])
+
+    def test_solve_unsatisfiable_request_exits_with_reasons(self,
+                                                            tmp_path):
+        # Duplicate symbols rule out every ulam engine; the planner's
+        # typed refusal surfaces as a SystemExit, not a traceback.
+        (tmp_path / "s.txt").write_text("aab")
+        (tmp_path / "t.txt").write_text("aba")
+        with pytest.raises(SystemExit, match="duplicate-free"):
+            main(["solve", "--distance", "ulam", "--engine", "auto",
+                  "--s-file", str(tmp_path / "s.txt"),
+                  "--t-file", str(tmp_path / "t.txt"),
+                  "--no-history"])
+
+    def test_engines_table_lists_all(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ulam-mpc", "edit-mpc", "hss", "beghs",
+                     "exact-ulam", "exact-edit", "ako-polylog",
+                     "cgks-subquadratic"):
+            assert name in out
+
+    def test_engines_json_and_distance_filter(self, capsys):
+        assert main(["engines", "--distance", "ulam", "--json"]) == 0
+        caps = [json.loads(line) for line in
+                capsys.readouterr().out.splitlines() if line.strip()]
+        names = {c["name"] for c in caps}
+        assert names == {"ulam-mpc", "exact-ulam"}
+        for c in caps:
+            assert c["distances"] == ["ulam"]
+            assert "guarantee" in c and "work_exponent" in c
+
+    def test_chaos_and_serve_choices_come_from_registry(self):
+        from repro.engines import distances
+        for d in distances():
+            assert build_parser().parse_args(["chaos", "--algo", d])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--algo", "hamming"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--algo", "hamming"])
+        args = build_parser().parse_args(
+            ["serve", "--engine", "exact-edit", "--algo", "edit"])
+        assert args.engine == "exact-edit"
+
+    def test_serve_engine_override_tags_records(self, tmp_path, capsys):
+        history = str(tmp_path / "h.jsonl")
+        assert main(["serve", "--n", "64", "--queries", "2",
+                     "--algo", "edit", "--engine", "exact-edit",
+                     "--history", history]) == 0
+        from repro.registry import read_history
+        records = read_history(history)
+        assert len(records) == 2
+        assert {r["engine"] for r in records} == {"exact-edit"}
+
+    def test_history_engine_filter(self, tmp_path, capsys):
+        history = str(tmp_path / "h.jsonl")
+        assert main(["solve", "--distance", "edit", "--engine",
+                     "ako-polylog", "--n", "64", "--history",
+                     history]) == 0
+        assert main(["solve", "--distance", "edit", "--engine",
+                     "exact-edit", "--n", "64", "--history",
+                     history]) == 0
+        capsys.readouterr()
+        assert main(["history", "--history", history,
+                     "--engine", "ako-polylog"]) == 0
+        out = capsys.readouterr().out
+        assert "ako-polylog" in out and "exact-edit" not in out

@@ -164,7 +164,7 @@ class TestBaselines:
         # The repository ships BENCH_table1.json as the CI baseline.
         records = load_baseline("BENCH_table1.json")
         assert {r["command"] for r in records} \
-            == {"ulam", "edit", "serve-bench"}
+            == {"ulam", "edit", "serve-bench", "solve"}
         for r in records:
             for metric in GATED_METRICS:
                 assert isinstance(r["summary"][metric], int), metric

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Enforce the MPC-layer API boundaries (stdlib only, CI-friendly).
 
-Five rules:
+Six rules:
 
 * Algorithm drivers must submit rounds through :mod:`repro.mpc.plan`
   (``Pipeline``/``RoundSpec``/``run_plan``) so that shuffle volume and
@@ -23,6 +23,15 @@ Five rules:
   refcounting).  Everything else publishes through
   :class:`repro.mpc.DataPlane` and ships :class:`~repro.mpc.SharedSlice`
   descriptors, so a leaked segment can only ever be a data-plane bug.
+* Algorithm *drivers* (``repro.ulam``, ``repro.editdistance``,
+  ``repro.baselines`` minus the dependency-free ``baselines.theory``
+  tables) are an implementation detail of the engine registry: inside
+  ``src/`` they may be imported only by ``repro/engines/`` (and by the
+  driver packages themselves / the top-level facade).  Everything else
+  — CLI, service, chaos, analysis — resolves algorithms through
+  :mod:`repro.engines`, so adding an engine never means touching a
+  dispatch table.  Tests and benchmarks may still import drivers
+  directly (golden-equivalence suites compare both paths on purpose).
 * Worker pools and data planes (``ProcessPoolExecutor``/``DataPlane``)
   may be constructed only inside ``repro/mpc`` and ``repro/service``:
   the service layer multiplexes every query over *one* executor and
@@ -86,6 +95,46 @@ RULES = {
         "repro.mpc.DataPlane and ship SharedSlice descriptors "
         "(resolve_payload runs inside execute_task).",
     ),
+    # Two patterns because relative imports are resolved by location:
+    # ``from .ulam`` means the driver package only at repro's top level
+    # (subpackages like repro.strings have their own local ``ulam``),
+    # while ``repro.ulam`` / ``..ulam`` mean the driver from anywhere.
+    "driver-imports": (
+        re.compile(r"(?:^|[^\w.])(?:from|import)\s+(?:repro\.|\.{2,})"
+                   r"(?:ulam\b|editdistance\b|"
+                   r"baselines(?!\.theory\b)\b)"),
+        ("src",),
+        # The driver packages and the facade re-export themselves; the
+        # engine registry is the one sanctioned consumer.
+        ("src/repro/engines/", "src/repro/ulam/",
+         "src/repro/editdistance/", "src/repro/baselines/",
+         "src/repro/__init__.py"),
+        "direct driver import outside repro.engines",
+        "Resolve algorithms through the engine registry "
+        "(repro.engines.get_engine / select_engine) instead of "
+        "importing driver modules; only repro/engines/ may import "
+        "repro.ulam, repro.editdistance or repro.baselines "
+        "(baselines.theory tables excepted).",
+    ),
+    "driver-imports-toplevel": (
+        re.compile(r"(?:^|[^\w.])(?:from|import)\s+\.(?!\.)"
+                   r"(?:ulam\b|editdistance\b|"
+                   r"baselines(?!\.theory\b)\b)"),
+        ("src",),
+        # Inside a subpackage a single-dot import is a sibling module,
+        # not the driver package — exempt them all.
+        ("src/repro/analysis/", "src/repro/baselines/",
+         "src/repro/editdistance/", "src/repro/engines/",
+         "src/repro/extensions/", "src/repro/mpc/",
+         "src/repro/service/", "src/repro/strings/", "src/repro/ulam/",
+         "src/repro/workloads/", "src/repro/__init__.py"),
+        "direct driver import outside repro.engines",
+        "Resolve algorithms through the engine registry "
+        "(repro.engines.get_engine / select_engine) instead of "
+        "importing driver modules; only repro/engines/ may import "
+        "repro.ulam, repro.editdistance or repro.baselines "
+        "(baselines.theory tables excepted).",
+    ),
     "pool-plane-construction": (
         re.compile(r"\b(?:DataPlane|ProcessPoolExecutor)\s*\("),
         ("src", "benchmarks", "examples"),
@@ -142,9 +191,9 @@ def main(argv):
             print(hint)
         return 1
     print("API boundary clean: no direct run_round calls, sink "
-          "constructions, metrics mutation, raw shared_memory use, or "
-          "pool/data-plane construction outside their sanctioned "
-          "modules")
+          "constructions, metrics mutation, raw shared_memory use, "
+          "driver imports, or pool/data-plane construction outside "
+          "their sanctioned modules")
     return 0
 
 

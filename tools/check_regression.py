@@ -51,11 +51,20 @@ def run_config(record: dict) -> dict:
     """
     params = record["params"]
     cmd = [sys.executable, "-m", "repro", record["command"],
-           "--n", str(params["n"]), "--x", str(params["x"]),
-           "--eps", str(params["eps"]), "--seed", str(params["seed"]),
+           "--n", str(params["n"]), "--seed", str(params["seed"]),
            "--json", "--no-history", "--check-guarantees"]
+    # ``solve`` records default x/eps to the engine's own values, so the
+    # params may legitimately be None — omit the flags and let the
+    # engine fill them, exactly as the recorded run did.
+    if params.get("x") is not None:
+        cmd += ["--x", str(params["x"])]
+    if params.get("eps") is not None:
+        cmd += ["--eps", str(params["eps"])]
     if params.get("budget") is not None:
         cmd += ["--budget", str(params["budget"])]
+    if record["command"] == "solve":
+        cmd += ["--distance", str(record.get("distance", "edit")),
+                "--engine", str(record.get("engine_spec", "auto"))]
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep \
         + env.get("PYTHONPATH", "")
