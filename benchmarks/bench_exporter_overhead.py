@@ -1,0 +1,142 @@
+"""E25 — overhead of the live observability exporter.
+
+The ``/metrics`` + ``/healthz`` endpoint must be safe to leave on in
+production: the handler thread reads registry snapshots and the
+service's ``status()`` dict, it never takes the query path's locks.
+Measured here on the E23-style mixed service workload, run two ways
+per repetition: bare ``run_workload``, and the same workload with an
+:class:`~repro.obs.ObservabilityServer` bound to the service while a
+background poller scrapes ``/metrics`` and ``/healthz`` every 50 ms —
+a far higher scrape rate than any real Prometheus (15 s default).
+
+The gate asserts the paired wall-clock delta stays under 5 %, that the
+scraper actually observed the *live* service (``repro_service_up``
+present in at least one scrape), and that both variants return
+identical distances.
+"""
+
+import threading
+import time
+import urllib.request
+
+from repro.analysis import format_table
+from repro.obs import ObservabilityServer
+from repro.service import run_workload
+from repro.workloads.permutations import planted_pair as perm_pair
+from repro.workloads.strings import planted_pair as str_pair
+
+from .conftest import run_once
+
+N = 128
+BUDGET = 8
+QUERIES = 6
+REPS = 3
+SCRAPE_INTERVAL = 0.05
+
+
+def _mixed_queries():
+    s_p, t_p, _ = perm_pair(N, BUDGET, seed=0, style="mixed")
+    s_s, t_s, _ = str_pair(N, BUDGET, sigma=4, seed=0)
+    out = []
+    for i in range(QUERIES):
+        if i % 2 == 0:
+            out.append({"algo": "ulam", "s": s_p, "t": t_p,
+                        "seed": i, "x": 0.25, "eps": 0.5})
+        else:
+            out.append({"algo": "edit", "s": s_s, "t": t_s,
+                        "seed": i, "x": 0.25, "eps": 1.0})
+    return out
+
+
+def _bare(queries):
+    t0 = time.perf_counter()
+    outcomes, _ = run_workload(queries, check_guarantees=False)
+    return time.perf_counter() - t0, outcomes
+
+
+def _scrape(url):
+    with urllib.request.urlopen(url, timeout=2) as resp:
+        return resp.read().decode("utf-8")
+
+
+def _exported(queries):
+    obs = ObservabilityServer(port=0).start()
+    stop = threading.Event()
+    bodies = []
+
+    def poll():
+        while not stop.is_set():
+            try:
+                bodies.append(_scrape(obs.url + "/metrics"))
+                bodies.append(_scrape(obs.url + "/healthz"))
+            except OSError:
+                pass
+            stop.wait(SCRAPE_INTERVAL)
+
+    thread = threading.Thread(target=poll, daemon=True)
+    thread.start()
+    try:
+        t0 = time.perf_counter()
+        outcomes, _ = run_workload(queries, observer=obs,
+                                   check_guarantees=False)
+        sec = time.perf_counter() - t0
+    finally:
+        stop.set()
+        thread.join()
+        obs.stop()
+    return sec, outcomes, bodies
+
+
+def _run():
+    queries = _mixed_queries()
+    # Pairwise per rep (see bench_telemetry_overhead.py): back-to-back
+    # runs see the same system load, so the rep-wise minimum ratio
+    # cancels machine-noise drift.
+    bare_s = exported_s = ratio = float("inf")
+    scrapes = 0
+    saw_live_service = False
+    for _ in range(REPS):
+        bare_sec, bare_out = _bare(queries)
+        bare_s = min(bare_s, bare_sec)
+        sec, exp_out, bodies = _exported(queries)
+        exported_s = min(exported_s, sec)
+        ratio = min(ratio, sec / bare_sec)
+        scrapes += len(bodies)
+        saw_live_service = saw_live_service or any(
+            "repro_service_up" in body for body in bodies)
+        assert [o.distance for o in bare_out] \
+            == [o.distance for o in exp_out]
+    return {
+        "bare_s": bare_s,
+        "exported_s": exported_s,
+        "delta": ratio - 1.0,
+        "scrapes": scrapes,
+        "saw_live_service": saw_live_service,
+        "qps": QUERIES / exported_s,
+    }
+
+
+def bench_exporter_overhead(benchmark, report):
+    row = run_once(benchmark, _run)
+    lines = [
+        "Exporter overhead on the mixed service workload "
+        f"(n = {N}, {QUERIES} queries, scrape every "
+        f"{SCRAPE_INTERVAL * 1000:.0f} ms, best of {REPS})",
+        "",
+        format_table(
+            ["variant", "seconds", "delta_vs_bare"],
+            [["no exporter", row["bare_s"], 0.0],
+             ["/metrics + /healthz under scrape", row["exported_s"],
+              row["delta"]]]),
+        "",
+        f"{row['scrapes']} scrapes answered across {REPS} reps; "
+        f"live service observed = {row['saw_live_service']}; "
+        f"{row['qps']:.1f} queries/sec with exporter on",
+    ]
+    report("E25_exporter_overhead", "\n".join(lines))
+
+    assert row["saw_live_service"], "scraper never saw the bound service"
+    assert row["scrapes"] > 0
+    # The endpoint must cost < 5% wall-clock even under a pathological
+    # scrape rate (paired-rep minimum ratio, generous over timer noise).
+    assert row["delta"] < 0.05, row

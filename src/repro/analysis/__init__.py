@@ -8,14 +8,16 @@ from .guarantees import (GuaranteeCheck, GuaranteeReport,
 from .report import (format_communication, format_kv, format_recovery,
                      format_skew, format_table, format_timeline)
 from .scaling import PowerLawFit, fit_power_law
-from .skew import (RoundSkew, TimelineRow, round_skew, timeline_rows,
+from .skew import (RoundSkew, TimelineRow, filter_spans, query_index,
+                   round_sequence, round_skew, timeline_rows,
                    work_decomposition)
 
 __all__ = ["format_communication", "format_kv", "format_recovery",
            "format_skew", "format_table", "format_timeline",
            "PowerLawFit", "fit_power_law",
            "RoundSkew", "TimelineRow", "round_skew", "timeline_rows",
-           "work_decomposition",
+           "work_decomposition", "query_index", "filter_spans",
+           "round_sequence",
            "GuaranteeCheck", "GuaranteeReport", "check_ulam_guarantees",
            "check_edit_guarantees", "check_approx_guarantees",
            "format_guarantees", "machine_budget", "reference_distance"]

@@ -18,10 +18,11 @@ All functions take a flat span sequence (e.g. from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple, Union
 
 __all__ = ["RoundSkew", "TimelineRow", "round_skew", "timeline_rows",
-           "work_decomposition"]
+           "work_decomposition", "query_index", "filter_spans",
+           "round_sequence"]
 
 
 def _percentile(values: Sequence[float], q: float) -> float:
@@ -40,6 +41,51 @@ def _percentile(values: Sequence[float], q: float) -> float:
 
 def _machine_spans(spans: Sequence) -> List:
     return [s for s in spans if s.kind == "machine"]
+
+
+# ---------------------------------------------------------------------------
+# Per-query correlation (service traces)
+
+def query_index(spans: Sequence) -> Dict[Tuple[int, str], List]:
+    """Group a shared trace stream by query identity.
+
+    Returns ``{(query_id, trace_id): [spans...]}`` sorted by query id.
+    Spans emitted outside any service query (one-shot runs) group under
+    the ``(-1, "")`` sentinel key.  Span order within each group is the
+    emission order of the input stream.
+    """
+    groups: Dict[Tuple[int, str], List] = {}
+    for s in spans:
+        groups.setdefault((s.query_id, s.trace_id), []).append(s)
+    return dict(sorted(groups.items()))
+
+
+def filter_spans(spans: Sequence, query: Union[int, str]) -> List:
+    """The spans belonging to one query of a shared trace stream.
+
+    *query* is either a service query id (``int``, matched against
+    ``Span.query_id``) or a trace id (``str``, matched against
+    ``Span.trace_id``).  Every analytics function in this module takes
+    a flat span sequence, so ``round_skew(filter_spans(spans, 3))``
+    computes one query's straggler profile out of an interleaved
+    concurrent trace.
+    """
+    if isinstance(query, str):
+        return [s for s in spans if s.trace_id == query]
+    return [s for s in spans if s.query_id == query]
+
+
+def round_sequence(spans: Sequence) -> List[str]:
+    """Round names in execution order (round spans sorted by start).
+
+    Applied to one query's filtered spans this reconstructs the exact
+    round schedule the query ran — including repeated names when a
+    driver explores several parameter guesses on spawned simulators —
+    even when the trace interleaves many concurrent queries.
+    """
+    rounds = [s for s in spans if s.kind == "round"]
+    rounds.sort(key=lambda s: (s.start, s.end))
+    return [s.name for s in rounds]
 
 
 @dataclass(frozen=True)

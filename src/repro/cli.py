@@ -35,6 +35,18 @@ surface without touching this file.
 ``serve-bench`` the deterministic service workload the regression gate
                 replays (fixed corpora, alternating algorithms, summed
                 ledger) — the E23 configuration.
+``top``         poll a live exporter (``serve --export PORT``) and
+                print the service status view (admission, inflight,
+                per-engine query totals).
+
+``serve`` additionally accepts ``--export PORT`` (live ``/metrics`` +
+``/healthz`` + ``/readyz`` endpoints, stdlib HTTP), ``--export-linger
+SEC`` (hold the drained service open for scrapers), ``--slo``
+(per-engine error-budget burn rates; exit 1 on alert), and ``--trace``
+/ ``--skew`` — service spans carry ``trace_id``/``query_id``, so
+``repro trace FILE --query ID`` reconstructs one query's rounds out of
+the interleaved stream.  See docs/ARCHITECTURE.md, "Live
+observability: traces, /metrics, SLOs".
 
 ``history``  print the local run history (``.repro/history.jsonl``).
 ``compare``  compare the latest matching history runs against a
@@ -283,7 +295,22 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--max-inflight", type=int, default=4,
                     help="admission cap: MPC rounds in flight across "
                          "all queries (default 4)")
+    sv.add_argument("--export", type=int, default=None, metavar="PORT",
+                    help="serve /metrics + /healthz + /readyz on this "
+                         "port while the batch runs (0 picks a free "
+                         "port; see `repro top`)")
+    sv.add_argument("--export-linger", type=float, default=0.0,
+                    metavar="SEC",
+                    help="keep the drained service (and exporter) live "
+                         "for SEC extra seconds before shutdown, so "
+                         "external scrapers can observe a ready service")
+    sv.add_argument("--slo", action="store_true",
+                    help="evaluate per-engine SLO burn rates over the "
+                         "batch (latency, round budget, guarantees, "
+                         "faults) and exit 1 when any error budget "
+                         "burns above 1x")
     data_plane_opts(sv)
+    telemetry_opts(sv)
     registry_opts(sv)
 
     sb = sub.add_parser(
@@ -341,6 +368,25 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--chrome", type=str, default=None, metavar="OUT",
                     help="also export a Chrome trace-event JSON file "
                          "(loadable in https://ui.perfetto.dev)")
+    tr.add_argument("--query", type=str, default=None, metavar="ID",
+                    help="restrict every report to one query of a "
+                         "service trace: a numeric query id or a trace "
+                         "id like svc1-q3 (also prints the query's "
+                         "exact round sequence)")
+
+    tp = sub.add_parser(
+        "top", help="poll a live exporter and print the service "
+                    "status (pair with `repro serve --export`)")
+    tp.add_argument("--url", type=str, default="http://127.0.0.1:9464",
+                    help="exporter base URL "
+                         "(default http://127.0.0.1:9464)")
+    tp.add_argument("--interval", type=float, default=2.0,
+                    help="seconds between samples (default 2)")
+    tp.add_argument("--once", action="store_true",
+                    help="print a single sample and exit")
+    tp.add_argument("--iterations", type=int, default=0, metavar="N",
+                    help="stop after N samples (default: until "
+                         "interrupted)")
     return parser
 
 
@@ -397,7 +443,12 @@ def _finish_telemetry(sim, args) -> None:
     telemetry reports."""
     if sim is None or sim.tracer is None:
         return
-    tracer = sim.tracer
+    _finish_tracer(sim.tracer, args)
+
+
+def _finish_tracer(tracer, args) -> None:
+    """Tracer-level tail of :func:`_finish_telemetry` (the service path
+    hands its tracer straight to the workload, with no simulator)."""
     tracer.close()
     if getattr(args, "skew", False):
         from .analysis import format_skew, format_timeline
@@ -605,6 +656,77 @@ def _serve_latency_report(outcomes, wall: float) -> dict:
     }
 
 
+def _http_get(url: str, timeout: float = 5.0):
+    """GET *url*; return ``(status, body)`` (HTTP errors carry bodies
+    too — /healthz answers 503 with a JSON diagnosis, not a failure)."""
+    import urllib.error
+    import urllib.request
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+def _parse_prometheus(text: str) -> dict:
+    """``{sample_name_with_labels: float}`` from Prometheus text."""
+    out: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            out[name] = float(value)
+        except ValueError:
+            continue
+    return out
+
+
+def _cmd_top(args) -> int:
+    """One `repro top` loop: poll /healthz + /metrics, print a view."""
+    import time as _time
+    base = args.url.rstrip("/")
+    iterations = 1 if args.once else args.iterations
+    shown = 0
+    while True:
+        try:
+            h_code, h_body = _http_get(base + "/healthz")
+            m_code, m_body = _http_get(base + "/metrics")
+        except OSError as exc:
+            print(f"top: {base}: {exc}", file=sys.stderr)
+            return 1
+        health = json.loads(h_body) if h_code in (200, 503) else {}
+        samples = _parse_prometheus(m_body) if m_code == 200 else {}
+        view = {
+            "service": health.get("service") or "-",
+            "status": health.get("status", f"http {h_code}"),
+            "admission": health.get("admission", "-"),
+            "inflight": health.get("inflight", 0),
+            "queued": health.get("queued", 0),
+        }
+        for label, prefix in (
+                ("corpora", "repro_service_corpora"),
+                ("shm_segments", "repro_service_active_shm_segments"),
+                ("queries_failed", "repro_service_queries_failed_total")):
+            total = sum(v for k, v in samples.items()
+                        if k.startswith(prefix))
+            view[label] = int(total)
+        for key, value in sorted(samples.items()):
+            if key.startswith("repro_service_queries_total"):
+                engine = "all"
+                if 'engine="' in key:
+                    engine = key.split('engine="', 1)[1].split('"')[0]
+                view[f"queries[{engine}]"] = int(value)
+        view["metric_samples"] = len(samples)
+        print(format_kv(f"repro top — {base}", view))
+        shown += 1
+        if iterations and shown >= iterations:
+            return 0 if health.get("healthy") else 1
+        print()
+        _time.sleep(args.interval)
+
+
 def _execute_engine(args, engine, distance: str, s, t, label: str):
     """Run *engine* on ``(s, t)`` under the CLI-configured simulator.
 
@@ -790,12 +912,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                                     args.queries, args.algo,
                                     args.x, args.eps,
                                     engine=args.engine)
-        outcomes, wall = run_workload(
-            queries, max_workers=args.workers or None,
-            max_concurrent_queries=args.max_queries,
-            max_inflight_rounds=args.max_inflight,
-            data_plane=not args.no_data_plane,
-            check_guarantees=args.check_guarantees)
+        tracer = _build_tracer(args)
+        observer = None
+        if args.export is not None:
+            from .obs import ObservabilityServer
+            observer = ObservabilityServer(port=args.export).start()
+            print(f"exporter listening on {observer.url} "
+                  "(/metrics /healthz /readyz)", file=sys.stderr)
+        try:
+            outcomes, wall = run_workload(
+                queries, max_workers=args.workers or None,
+                max_concurrent_queries=args.max_queries,
+                max_inflight_rounds=args.max_inflight,
+                data_plane=not args.no_data_plane,
+                check_guarantees=args.check_guarantees,
+                tracer=tracer, observer=observer,
+                hold_seconds=args.export_linger)
+        finally:
+            if observer is not None:
+                observer.stop()
         summary = _aggregate_service_summary(outcomes, wall)
         summary.update(_serve_latency_report(outcomes, wall))
         guarantees = None
@@ -804,6 +939,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             guarantees = {"passed": all(verdicts),
                           "n_queries": len(verdicts),
                           "n_failed": verdicts.count(False)}
+        slo_reports = None
+        if args.slo:
+            from .obs import SLOMonitor
+            monitor = SLOMonitor()
+            for o in outcomes:
+                monitor.observe_outcome(o)
+            slo_reports = [r.to_dict() for r in monitor.reports()]
+            slo_alerts = monitor.alerts()
         if not args.no_history:
             # One history record per query: each carries its own exact
             # ledger and verdict, exactly like a one-shot run would.
@@ -816,18 +959,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                     {"distance": o.distance, **o.stats.summary()},
                     guarantees=o.guarantees,
                     extra={"algo": o.algo, "query_id": o.query_id,
+                           "trace_id": o.trace_id,
                            "latency_seconds":
                                round(o.latency_seconds, 6)},
                     engine=o.engine)
                 append_record(args.history, record)
         if args.json:
+            extra = {"queries": args.queries, "algo": args.algo,
+                     "workers": args.workers}
+            if slo_reports is not None:
+                extra["slo"] = slo_reports
             batch = make_record(
                 "serve",
                 {"n": args.n, "x": args.x, "eps": args.eps,
                  "seed": args.seed, "budget": budget},
-                summary, guarantees=guarantees,
-                extra={"queries": args.queries, "algo": args.algo,
-                       "workers": args.workers})
+                summary, guarantees=guarantees, extra=extra)
             print(json.dumps(batch, sort_keys=True))
         else:
             for o in outcomes:
@@ -835,7 +981,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if o.guarantees_passed is not None:
                     verdict = "  guarantees=" + \
                         ("PASS" if o.guarantees_passed else "FAIL")
-                print(f"#{o.query_id:<3} {o.algo:<5} "
+                print(f"#{o.query_id:<3} [{o.trace_id}] {o.algo:<5} "
                       f"d={o.distance:<6} "
                       f"rounds={o.stats.n_rounds:<3} "
                       f"work={o.stats.total_work:<10} "
@@ -845,7 +991,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(format_kv(
                 f"Service batch ({len(outcomes)} queries, "
                 f"algo={args.algo})", summary))
-        return 0 if guarantees is None or guarantees["passed"] else 1
+            if slo_reports is not None:
+                print()
+                print("SLO burn rates")
+                print("--------------")
+                for rep in slo_reports:
+                    dims = "  ".join(
+                        f"{dim}={row['burn']:.2f}x"
+                        for dim, row in rep["dimensions"].items())
+                    print(f"{rep['engine']:<20} "
+                          f"samples={rep['n_samples']:<4} {dims}  "
+                          + ("ok" if rep["ok"] else "BURNING"))
+                for alert in slo_alerts:
+                    print(f"ALERT: {alert}")
+        if tracer is not None:
+            _finish_tracer(tracer, args)
+        if guarantees is not None and not guarantees["passed"]:
+            return 1
+        if slo_reports is not None and slo_alerts:
+            return 1
+        return 0
 
     if args.command == "serve-bench":
         from .registry import append_record, make_record
@@ -861,12 +1026,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         outcomes, wall = run_workload(
             queries, check_guarantees=args.check_guarantees)
         summary = _aggregate_service_summary(outcomes, wall)
+        summary.update(_serve_latency_report(outcomes, wall))
         guarantees = None
         if args.check_guarantees:
             verdicts = [bool(o.guarantees_passed) for o in outcomes]
             guarantees = {"passed": all(verdicts),
                           "n_queries": len(verdicts),
                           "n_failed": verdicts.count(False)}
+        # The per-query rows carry everything the SLO gate
+        # (tools/check_slo.py) needs to rebuild one sample per query:
+        # the deterministic ledger facts plus the clock-derived latency
+        # and the trace id joining the row back to spans and history.
         record = make_record(
             "serve-bench",
             {"n": args.n, "x": args.x, "eps": args.eps,
@@ -875,20 +1045,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             extra={"queries": args.queries,
                    "per_query": [
                        {"query_id": o.query_id, "algo": o.algo,
+                        "engine": o.engine,
+                        "trace_id": o.trace_id,
                         "seed": o.params["seed"],
                         "distance": o.distance,
-                        "total_work": o.stats.total_work}
+                        "rounds": o.stats.n_rounds,
+                        "total_work": o.stats.total_work,
+                        "latency_seconds": round(o.latency_seconds, 6),
+                        "guarantees_passed": o.guarantees_passed,
+                        "dropped_machines": o.stats.summary().get(
+                            "dropped_machines", 0),
+                        "failed_attempts": o.stats.summary().get(
+                            "failed_attempts", 0)}
                        for o in outcomes]})
         if not args.no_history:
             append_record(args.history, record)
         if args.json:
             print(json.dumps(record, sort_keys=True))
         else:
-            data = dict(summary)
-            data.update(_serve_latency_report(outcomes, wall))
             print(format_kv(
                 f"Service workload gate ({len(outcomes)} queries)",
-                data))
+                dict(summary)))
             if guarantees is not None:
                 print()
                 print("guarantees: "
@@ -965,6 +1142,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         spans = read_jsonl(args.path)
         if not spans:
             raise SystemExit(f"{args.path}: no spans")
+        if args.query is not None:
+            from .analysis import filter_spans, query_index, \
+                round_sequence
+            want = int(args.query) if args.query.lstrip("-").isdigit() \
+                else args.query
+            spans = filter_spans(spans, want)
+            if not spans:
+                present = [f"{qid} [{tid}]" for (qid, tid)
+                           in query_index(read_jsonl(args.path))
+                           if qid >= 0]
+                raise SystemExit(
+                    f"{args.path}: no spans for query {args.query!r}"
+                    + (f"; queries in trace: {', '.join(present)}"
+                       if present else
+                       " (trace has no query-correlated spans)"))
+            trace_id = next((s.trace_id for s in spans if s.trace_id),
+                            "")
+            print(f"Query {args.query} [{trace_id}] — "
+                  f"{len(spans)} spans")
+            seq = round_sequence(spans)
+            if seq:
+                print("round sequence: " + " -> ".join(seq))
+            print()
         print("Run timeline")
         print("------------")
         print(format_timeline(spans))
@@ -1023,6 +1223,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             _print_result(engine.caps.title, eres.distance, exact,
                           eres.stats, eres.extra, show_comm=args.comm)
         return _finish_run(args, "hss", engine, eres, s, t, exact)
+
+    if args.command == "top":
+        return _cmd_top(args)
 
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 

@@ -351,13 +351,20 @@ class MetricsScope:
 
     Thread-safe: ``asyncio.to_thread`` copies the ambient context into
     the worker thread, so several threads may record into one scope.
+
+    ``trace_id``/``query_id`` are the scope's query correlation identity
+    (the service stamps the pair it minted at submit; the one-shot path
+    leaves the ``("", -1)`` sentinel), so a scope's delta can always be
+    joined back to the spans and records of the query that produced it.
     """
 
-    __slots__ = ("_lock", "_data")
+    __slots__ = ("_lock", "_data", "trace_id", "query_id")
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: str = "", query_id: int = -1) -> None:
         self._lock = threading.Lock()
         self._data: Dict[str, dict] = {}
+        self.trace_id = trace_id
+        self.query_id = query_id
 
     def _record_counter(self, key: str, amount) -> None:
         with self._lock:
@@ -419,8 +426,8 @@ class scoped_snapshot:
     ``registry.reset()`` the CLI used to need before every run.
     """
 
-    def __init__(self) -> None:
-        self.scope = MetricsScope()
+    def __init__(self, trace_id: str = "", query_id: int = -1) -> None:
+        self.scope = MetricsScope(trace_id=trace_id, query_id=query_id)
         self._token: Optional[contextvars.Token] = None
 
     def __enter__(self) -> MetricsScope:

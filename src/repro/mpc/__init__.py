@@ -54,7 +54,8 @@ from .shm import (DataPlane, SharedSlice, active_segments,
 from .simulator import MPCSimulator, prepare_broadcast
 from .sizeof import sizeof
 from .telemetry import (InMemorySink, JsonlSink, Sink, Span, Tracer,
-                        export_chrome_trace, read_jsonl)
+                        current_trace, export_chrome_trace, read_jsonl,
+                        trace_context)
 from .trace import (load_run_stats, run_stats_from_dict,
                     run_stats_to_dict, save_run_stats)
 from .utils import distributed_equal
@@ -75,6 +76,7 @@ __all__ = [
     "load_run_stats", "run_stats_from_dict", "run_stats_to_dict",
     "save_run_stats", "isolated_meters", "distributed_equal",
     "Span", "Sink", "InMemorySink", "JsonlSink", "Tracer",
+    "current_trace", "trace_context",
     "read_jsonl", "export_chrome_trace",
     "DataPlane", "SharedSlice", "active_segments", "detach_segments",
     "payload_byte_stats", "resolve_payload",

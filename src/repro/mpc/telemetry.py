@@ -31,7 +31,22 @@ interval ``[start, end)``:
 ``broadcast_words``  per-machine broadcast charge of the span's round
 ``wasted``       True when the attempt's output was discarded
 ``fault``        ``""`` | ``"crash"`` | ``"corrupt"`` | ``"error"``
+``trace_id``     service-minted query correlation id (``""`` one-shot)
+``query_id``     service query number (``-1`` outside the service)
 ===============  ============================================================
+
+Trace context
+-------------
+:func:`trace_context` binds a ``(trace_id, query_id)`` pair to the
+current execution context (``contextvars``), and :meth:`Tracer.emit` —
+the single choke point every span passes through — stamps the ambient
+pair onto spans that do not already carry one.  Because
+``asyncio.to_thread`` copies the ambient context into its worker
+thread, wrapping a service query's execution in ``trace_context``
+correlates every span the query produces (machine/round/collect spans
+from the simulator, retry attempts, data-plane publishes) without any
+emission site knowing about services or queries, even while several
+queries interleave over the same tracer.
 
 Sinks
 -----
@@ -53,20 +68,54 @@ choice of sink stays with the caller (CLI, benchmark, notebook).
 
 from __future__ import annotations
 
+import contextvars
 import json
 import os
 import pathlib
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, fields
-from typing import IO, Iterator, List, Optional, Sequence, Union
+from typing import IO, Iterator, List, Optional, Sequence, Tuple, Union
 
 __all__ = ["Span", "Sink", "InMemorySink", "JsonlSink", "Tracer",
+           "current_trace", "trace_context",
            "read_jsonl", "export_chrome_trace"]
 
 #: Span kinds, in nesting order (a run contains publishes and rounds, a
 #: round contains machine attempts and at most one collect span).
 SPAN_KINDS = ("run", "round", "machine", "collect", "publish")
+
+#: Ambient query identity, carried by ``contextvars`` so it survives
+#: ``asyncio.to_thread`` hops exactly like metric scopes do.  The
+#: default is the "uncorrelated" sentinel pair.
+_TRACE_CTX: "contextvars.ContextVar[Tuple[str, int]]" = \
+    contextvars.ContextVar("repro_trace_ctx", default=("", -1))
+
+
+def current_trace() -> Tuple[str, int]:
+    """The ambient ``(trace_id, query_id)`` pair.
+
+    ``("", -1)`` outside any :func:`trace_context` — the one-shot CLI
+    path, where there is no query to correlate against.
+    """
+    return _TRACE_CTX.get()
+
+
+@contextmanager
+def trace_context(trace_id: str, query_id: int) -> Iterator[None]:
+    """Bind a query identity to the current context tree.
+
+    Every span emitted while the context is active — including from
+    worker threads started inside it via ``asyncio.to_thread`` — is
+    stamped with the pair by :meth:`Tracer.emit`, and
+    :func:`repro.metrics.scoped_snapshot` scopes opened inside carry it
+    too.  Contexts nest; the innermost binding wins.
+    """
+    token = _TRACE_CTX.set((trace_id, query_id))
+    try:
+        yield
+    finally:
+        _TRACE_CTX.reset(token)
 
 
 @dataclass
@@ -86,6 +135,8 @@ class Span:
     broadcast_words: int = 0
     wasted: bool = False
     fault: str = ""
+    trace_id: str = ""
+    query_id: int = -1
 
     @property
     def duration(self) -> float:
@@ -223,7 +274,19 @@ class Tracer:
                 for s in sink.spans]
 
     def emit(self, span: Span) -> None:
-        """Forward *span* to every sink."""
+        """Forward *span* to every sink.
+
+        Spans that do not already carry a query identity are stamped
+        with the ambient :func:`trace_context` pair first — this is the
+        single choke point every span passes through, so emission sites
+        (simulator, retry path, pipeline collectors, data plane) stay
+        oblivious to query correlation.
+        """
+        if span.query_id < 0:
+            trace_id, query_id = _TRACE_CTX.get()
+            if query_id >= 0:
+                span.trace_id = trace_id
+                span.query_id = query_id
         for sink in self.sinks:
             sink.emit(span)
 
@@ -263,17 +326,35 @@ def export_chrome_trace(spans: Sequence[Span],
 
     The output is the ``{"traceEvents": [...]}`` object format with one
     complete event (``"ph": "X"``) per span, carrying the ``ts``/``dur``
-    (microseconds) and ``pid``/``tid`` fields Perfetto requires.  Lanes
-    are chosen for straggler-hunting: ``pid`` is the OS worker pid (one
-    track group per worker process) and ``tid`` the machine index, so a
-    skewed round shows up as one long bar among short ones.  Ledger
-    quantities travel in ``args``.
+    (microseconds) and ``pid``/``tid`` fields Perfetto requires.
 
+    Track grouping depends on whether the spans carry a query identity
+    (service runs under :func:`trace_context`):
+
+    * spans with ``query_id >= 0`` group by **query** — ``pid`` is the
+      query id (one named Perfetto process group per query, so
+      interleaved concurrent queries render as separate timelines
+      instead of collapsing into one) and ``tid`` the machine index;
+      the worker pid moves into ``args``;
+    * uncorrelated spans keep the one-shot lanes — ``pid`` is the OS
+      worker pid (one track group per worker process) and ``tid`` the
+      machine index, so a skewed round shows up as one long bar among
+      short ones.
+
+    Ledger quantities and the ``trace_id`` travel in ``args``.
     Timestamps are rebased to the earliest span so the timeline starts
     at zero.
     """
     t0 = min((s.start for s in spans), default=0.0)
     events = []
+    queries: dict = {}
+    for s in spans:
+        if s.query_id >= 0 and s.query_id not in queries:
+            queries[s.query_id] = s.trace_id
+    for qid, trace_id in sorted(queries.items()):
+        name = f"query {qid}" + (f" [{trace_id}]" if trace_id else "")
+        events.append({"name": "process_name", "ph": "M", "pid": qid,
+                       "tid": 0, "args": {"name": name}})
     for s in spans:
         label = s.name if s.machine < 0 else f"{s.name}[{s.machine}]"
         if s.attempt > 1:
@@ -284,13 +365,14 @@ def export_chrome_trace(spans: Sequence[Span],
             "ph": "X",
             "ts": round((s.start - t0) * 1e6, 3),
             "dur": round(s.duration * 1e6, 3),
-            "pid": s.worker,
+            "pid": s.query_id if s.query_id >= 0 else s.worker,
             "tid": s.machine if s.machine >= 0 else 0,
             "args": {"work": s.work, "input_words": s.input_words,
                      "output_words": s.output_words,
                      "broadcast_words": s.broadcast_words,
                      "attempt": s.attempt, "wasted": s.wasted,
-                     "fault": s.fault},
+                     "fault": s.fault, "worker": s.worker,
+                     "trace_id": s.trace_id, "query_id": s.query_id},
         })
     pathlib.Path(path).write_text(
         json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},

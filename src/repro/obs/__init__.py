@@ -1,0 +1,23 @@
+"""Live service observability: exporter endpoints and SLO monitoring.
+
+Three pillars, built on the correlation ids the service mints per query
+(:meth:`repro.service.DistanceService.submit`):
+
+* **query-correlated tracing** — every span, metrics scope, history
+  record and guarantee verdict carries ``trace_id``/``query_id``;
+  :mod:`repro.analysis.skew` filters a shared trace stream per query;
+* **exporter** (:mod:`.exporter`) — ``/metrics`` (Prometheus text) +
+  ``/healthz`` + ``/readyz`` over stdlib ``http.server``;
+* **SLO monitor** (:mod:`.slo`) — per-engine objectives with rolling
+  error-budget burn rates, behind ``repro serve --slo`` and the
+  ``tools/check_slo.py`` CI gate.
+"""
+
+from .exporter import ObservabilityServer, prometheus_exposition, \
+    render_health
+from .slo import (SLO, QuerySample, SLOMonitor, SLOReport, burn_rate,
+                  default_slos, sample_from_outcome, sample_from_record)
+
+__all__ = ["ObservabilityServer", "prometheus_exposition", "render_health",
+           "SLO", "QuerySample", "SLOMonitor", "SLOReport", "burn_rate",
+           "default_slos", "sample_from_outcome", "sample_from_record"]

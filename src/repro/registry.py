@@ -232,6 +232,21 @@ def compare_records(baseline: dict, fresh: dict,
         out["distance"] = {"baseline": b_sum.get("distance"),
                            "fresh": f_sum.get("distance"),
                            "change": None, "regressed": False}
+    # Latency is informational only — wall-clock varies with the host,
+    # so it never sets ``regressed`` — but surfacing the drift lets
+    # ``repro compare`` answer "did queries get slower" alongside the
+    # deterministic ledger.  Per-query serve records carry the field at
+    # top level; batch records fall back to the summary's p99.
+    b_lat = baseline.get("latency_seconds",
+                         b_sum.get("p99_latency_seconds"))
+    f_lat = fresh.get("latency_seconds",
+                      f_sum.get("p99_latency_seconds"))
+    if b_lat is not None or f_lat is not None:
+        change = None
+        if b_lat and f_lat is not None:
+            change = round((f_lat - b_lat) / b_lat, 4)
+        out["latency_seconds"] = {"baseline": b_lat, "fresh": f_lat,
+                                  "change": change, "regressed": False}
     g = fresh.get("guarantees")
     if g is not None:
         out["guarantees"] = {"baseline": None, "fresh": g.get("passed"),

@@ -66,7 +66,9 @@ def run_workload(queries: Sequence[Dict[str, object]],
                  machine_memory_cap: Optional[int] = None,
                  data_plane: bool = True,
                  check_guarantees: bool = True,
-                 tracer: Optional[Tracer] = None
+                 tracer: Optional[Tracer] = None,
+                 observer=None,
+                 hold_seconds: float = 0.0
                  ) -> Tuple[List[QueryOutcome], float]:
     """Run a batch of queries through one service; return outcomes + wall.
 
@@ -82,6 +84,15 @@ def run_workload(queries: Sequence[Dict[str, object]],
     Returns ``(outcomes_in_submission_order, wall_seconds)``; the wall
     clock covers registration through shutdown (the number E23 compares
     against back-to-back one-shot runs).
+
+    *observer* is an optional
+    :class:`~repro.obs.exporter.ObservabilityServer` (or anything with a
+    ``bind(service)`` method): it is bound as soon as the service
+    exists, so ``/metrics`` and ``/healthz`` reflect the live batch.
+    *hold_seconds* keeps the drained service open (admission still
+    accepting) for that long before shutdown — the hook ``repro serve
+    --export-linger`` uses so an external scraper can observe a live,
+    ready service deterministically.
     """
 
     async def _main() -> Tuple[List[QueryOutcome], float]:
@@ -94,6 +105,8 @@ def run_workload(queries: Sequence[Dict[str, object]],
                 data_plane=data_plane,
                 check_guarantees=check_guarantees,
                 tracer=tracer) as service:
+            if observer is not None:
+                observer.bind(service)
             handles = []
             for q in queries:
                 corpus_id = service.register_corpus(q["s"], q["t"])
@@ -104,6 +117,8 @@ def run_workload(queries: Sequence[Dict[str, object]],
                 handles.append(service.submit(q["algo"], corpus_id,
                                               **kwargs))
             outcomes = list(await asyncio.gather(*handles))
+            if hold_seconds > 0:
+                await asyncio.sleep(hold_seconds)
         return outcomes, time.perf_counter() - start
 
     return asyncio.run(_main())

@@ -53,17 +53,21 @@ from typing import Dict, Optional
 from ..engines import (Engine, EngineRequest, NoEngineError,
                        default_engine, distances, get_engine,
                        select_engine)
-from ..metrics import scoped_snapshot
+from ..metrics import get_registry, scoped_snapshot
 from ..mpc.executor import Executor, ProcessPoolExecutor, SerialExecutor
 from ..mpc.faults import FaultPlan
 from ..mpc.retry import ResilientSimulator, RetryPolicy
 from ..mpc.shm import active_segments
 from ..mpc.simulator import MPCSimulator
-from ..mpc.telemetry import Tracer
+from ..mpc.telemetry import Tracer, trace_context
 from .corpus import Corpus
 
 __all__ = ["AdmissionError", "QueryOutcome", "QueryHandle",
            "DistanceService"]
+
+#: Process-wide service sequence, so trace ids stay unique when several
+#: services coexist (tests, notebooks): ``svc<k>-q<id>``.
+_SERVICE_SEQ = itertools.count(1)
 
 
 class AdmissionError(RuntimeError):
@@ -90,6 +94,7 @@ class QueryOutcome:
     latency_seconds: float
     guarantees: Optional[dict] = None
     engine: str = ""
+    trace_id: str = ""
 
     @property
     def stats(self):
@@ -121,14 +126,17 @@ class QueryHandle:
     :meth:`cancel`).
     """
 
-    __slots__ = ("query_id", "algo", "corpus_id", "engine", "_task")
+    __slots__ = ("query_id", "algo", "corpus_id", "engine", "trace_id",
+                 "_task")
 
     def __init__(self, query_id: int, algo: str, corpus_id: str,
-                 task: "asyncio.Task", engine: str = "") -> None:
+                 task: "asyncio.Task", engine: str = "",
+                 trace_id: str = "") -> None:
         self.query_id = query_id
         self.algo = algo
         self.corpus_id = corpus_id
         self.engine = engine
+        self.trace_id = trace_id
         self._task = task
 
     def __await__(self):
@@ -226,10 +234,17 @@ class DistanceService:
         self._corpora: Dict[str, Corpus] = {}
         self._handles: Dict[int, QueryHandle] = {}
         self._ids = itertools.count(1)
+        self._tag = f"svc{next(_SERVICE_SEQ)}"
         self._query_slots: Optional[asyncio.Semaphore] = None
         self._round_slots: Optional[asyncio.Semaphore] = None
         self._closing = False
         self._closed = False
+        # Plain-int observability counters (no registry dependence, so
+        # /healthz works whether or not metrics collection is enabled).
+        self._queued = 0
+        self._queries_total = 0
+        self._queries_failed = 0
+        self._engine_queries: Dict[str, int] = {}
 
     # -- introspection -------------------------------------------------
     @property
@@ -245,6 +260,43 @@ class DistanceService:
     def inflight(self) -> int:
         """Queries admitted and not yet finished."""
         return sum(1 for h in self._handles.values() if not h.done())
+
+    def status(self) -> Dict[str, object]:
+        """Live service snapshot for the observability endpoints.
+
+        Plain JSON-serialisable data, safe to read from any thread (the
+        HTTP exporter's handler threads call this concurrently with the
+        event loop): admission state, in-flight/queued query counts,
+        corpus and shared-memory-segment accounting, executor liveness,
+        and per-engine query totals since construction.
+        """
+        executor = self._executor
+        return {
+            "service": self._tag,
+            "admission": ("closed" if self._closed
+                          else "closing" if self._closing else "open"),
+            "inflight": self.inflight,
+            "queued": self._queued,
+            "corpora": len(self._corpora),
+            "active_segments": len(active_segments()),
+            "executor": {
+                "type": type(executor).__name__,
+                # A lazy pool that has not spawned yet is healthy; a
+                # closed service's executor is not.
+                "alive": not self._closed,
+                "pool_running": bool(getattr(executor, "running", False)),
+            },
+            "limits": {
+                "max_concurrent_queries": self._max_concurrent_queries,
+                "max_inflight_rounds": self._max_inflight_rounds,
+                "machine_memory_cap": self._machine_memory_cap,
+            },
+            "queries": {
+                "total": self._queries_total,
+                "failed": self._queries_failed,
+                "by_engine": dict(sorted(self._engine_queries.items())),
+            },
+        }
 
     # -- corpus registry -----------------------------------------------
     def register_corpus(self, s, t) -> str:
@@ -328,18 +380,27 @@ class DistanceService:
                 f"per-machine memory {memory_limit} words exceeds the "
                 f"service cap {self._machine_memory_cap}")
         query_id = next(self._ids)
+        trace_id = f"{self._tag}-q{query_id}"
+        self._queries_total += 1
+        name = spec.engine_name
+        self._engine_queries[name] = self._engine_queries.get(name, 0) + 1
         # The query's corpus reference is taken *now*, synchronously:
         # releasing the registration right after submit must not unlink
         # segments under an admitted query whose task has not started.
         corpus.retain()
         task = asyncio.get_running_loop().create_task(
-            self._execute(query_id, spec, corpus, query))
+            self._execute(query_id, trace_id, spec, corpus, query))
         handle = QueryHandle(query_id, algo, corpus_id, task,
-                             engine=spec.engine_name)
+                             engine=spec.engine_name, trace_id=trace_id)
         self._handles[query_id] = handle
         task.add_done_callback(
-            lambda _t, qid=query_id: self._handles.pop(qid, None))
+            lambda t, qid=query_id: self._finalize(t, qid))
         return handle
+
+    def _finalize(self, task: "asyncio.Task", query_id: int) -> None:
+        self._handles.pop(query_id, None)
+        if task.cancelled() or task.exception() is not None:
+            self._queries_failed += 1
 
     @staticmethod
     def _resolve_engine(algo: str, engine: Optional[str], corpus: Corpus,
@@ -413,44 +474,72 @@ class DistanceService:
         except StopIteration:
             return True
 
-    async def _execute(self, query_id: int, spec: _QuerySpec,
-                       corpus: Corpus, query) -> QueryOutcome:
+    async def _execute(self, query_id: int, trace_id: str,
+                       spec: _QuerySpec, corpus: Corpus,
+                       query) -> QueryOutcome:
         # The corpus reference was taken in submit(); the finally below
-        # is its sole owner.
+        # is its sole owner.  The trace context wraps the whole
+        # execution, so every span the query emits — simulator rounds,
+        # retry attempts, collector and publish spans, all produced in
+        # ``asyncio.to_thread`` workers that copy this context — and the
+        # metrics scope carry the service-minted identity.
         query_slots, round_slots = self._semaphores()
         start = time.perf_counter()
         try:
-            sim = self._make_sim(spec, query.params.memory_limit)
-            async with query_slots:
-                with scoped_snapshot() as scope:
-                    gen = query.steps(sim)
-                    step: Optional[asyncio.Task] = None
-                    try:
-                        while True:
-                            async with round_slots:
-                                step = asyncio.ensure_future(
-                                    asyncio.to_thread(self._advance, gen))
-                                done = await asyncio.shield(step)
-                                step = None
-                            if done:
-                                break
-                    finally:
-                        # A cancelled await leaves the in-flight round
-                        # running in its thread; let it finish before
-                        # finalising the generator (which closes the
-                        # query's scratch plane) so no segment leaks.
-                        if step is not None and not step.done():
-                            try:
-                                await asyncio.shield(step)
-                            except BaseException:
-                                pass
-                        gen.close()
-                result = query.result
-                result.stats.metrics = scope.delta()
-            guarantees = None
-            if spec.check_guarantees:
-                guarantees = await asyncio.to_thread(
-                    self._guarantee_report, spec, corpus, result)
+            with trace_context(trace_id, query_id):
+                sim = self._make_sim(spec, query.params.memory_limit)
+                self._queued += 1
+                try:
+                    await query_slots.acquire()
+                finally:
+                    self._queued -= 1
+                try:
+                    with scoped_snapshot(trace_id=trace_id,
+                                         query_id=query_id) as scope:
+                        gen = query.steps(sim)
+                        step: Optional[asyncio.Task] = None
+                        try:
+                            while True:
+                                async with round_slots:
+                                    step = asyncio.ensure_future(
+                                        asyncio.to_thread(
+                                            self._advance, gen))
+                                    done = await asyncio.shield(step)
+                                    step = None
+                                if done:
+                                    break
+                        finally:
+                            # A cancelled await leaves the in-flight
+                            # round running in its thread; let it finish
+                            # before finalising the generator (which
+                            # closes the query's scratch plane) so no
+                            # segment leaks.
+                            if step is not None and not step.done():
+                                try:
+                                    await asyncio.shield(step)
+                                except BaseException:
+                                    pass
+                            gen.close()
+                    result = query.result
+                    result.stats.metrics = scope.delta()
+                finally:
+                    query_slots.release()
+                guarantees = None
+                if spec.check_guarantees:
+                    guarantees = await asyncio.to_thread(
+                        self._guarantee_report, spec, corpus, result)
+                    guarantees["trace_id"] = trace_id
+                    guarantees["query_id"] = query_id
+            latency = time.perf_counter() - start
+            # Observed *after* the query's scope has exited: the
+            # process-cumulative registry (and the /metrics exporter)
+            # sees the latency distribution, while per-query scoped
+            # deltas stay byte-identical to the one-shot driver path.
+            registry = get_registry()
+            if registry.enabled:
+                registry.histogram("service.query_latency",
+                                   engine=spec.engine_name) \
+                    .observe(round(latency, 6))
             caps = spec.engine.caps
             x_eff = spec.x if spec.x is not None else caps.default_x
             eps_eff = spec.eps if spec.eps is not None \
@@ -461,8 +550,9 @@ class DistanceService:
                 params={"n": len(corpus.S), "x": x_eff,
                         "eps": eps_eff, "seed": spec.seed},
                 distance=result.distance, result=result,
-                latency_seconds=time.perf_counter() - start,
-                guarantees=guarantees, engine=spec.engine_name)
+                latency_seconds=latency,
+                guarantees=guarantees, engine=spec.engine_name,
+                trace_id=trace_id)
         finally:
             corpus.release()
 

@@ -471,12 +471,26 @@ class TestServeCommands:
             records.append(json.loads(capsys.readouterr().out))
         first, second = records
         # Identity, gated ledger and verdict are bit-for-bit stable
-        # across runs; only the clock-derived fields may differ.
+        # across runs; only the clock-derived fields (latency, wall,
+        # qps) and the per-service trace ids may differ.
         assert first["params"] == second["params"]
         assert first["guarantees"] == second["guarantees"]
-        assert first["per_query"] == second["per_query"]
+
+        def strip_per_query(rows):
+            out = []
+            for row in rows:
+                row = dict(row)
+                assert row.pop("latency_seconds") > 0
+                assert row.pop("trace_id")
+                out.append(row)
+            return out
+
+        assert strip_per_query(first["per_query"]) \
+            == strip_per_query(second["per_query"])
         s1, s2 = first["summary"], second["summary"]
-        s1.pop("wall_seconds"), s2.pop("wall_seconds")
+        for clock in ("wall_seconds", "p50_latency_seconds",
+                      "p99_latency_seconds", "queries_per_second"):
+            s1.pop(clock), s2.pop(clock)
         assert s1 == s2
 
     def test_serve_bench_matches_regression_gate_replay_shape(self,

@@ -12,7 +12,9 @@ import json
 
 import pytest
 
-from repro.mpc import FaultPlan, ResilientSimulator, RetryPolicy
+from repro.analysis import filter_spans
+from repro.metrics import enable
+from repro.mpc import FaultPlan, ResilientSimulator, RetryPolicy, Tracer
 from repro.mpc.shm import active_segments
 from repro.params import UlamParams
 from repro.service import DistanceService, run_workload
@@ -143,6 +145,85 @@ class TestChaosThroughService:
                     await handle
 
         asyncio.run(main())
+        assert not active_segments()
+
+
+class TestScopeIsolation:
+    """Spans and metric deltas never bleed across sibling queries.
+
+    The per-query ``MetricsScope`` and the tracer's contextvar stamping
+    must hold up under the two ugliest interleavings: a sibling dying
+    to ``asyncio.CancelledError`` mid-round, and a sibling burning
+    retries against injected faults.  In both cases the unaffected
+    query's span slice, metric delta and ledger must be byte-identical
+    to a pristine one-shot run of the same parameters.
+    """
+
+    def test_cancelled_sibling_leaks_no_spans_or_metrics(self):
+        enable()
+        s, t, _ = perm_pair(N, BUDGET, seed=0, style="mixed")
+        reference = mpc_ulam(s, t, x=0.25, eps=0.5, seed=2)
+        tracer = Tracer.in_memory()
+
+        async def main():
+            async with DistanceService(tracer=tracer) as service:
+                cid = service.register_corpus(s, t)
+                victim = service.submit("ulam", cid, seed=1)
+                survivor = service.submit("ulam", cid, seed=2)
+                await asyncio.sleep(0.02)
+                victim.cancel()
+                outcome = await survivor
+                with pytest.raises(asyncio.CancelledError):
+                    await victim
+                return outcome
+
+        outcome = asyncio.run(main())
+        spans = tracer.spans
+        mine = filter_spans(spans, outcome.query_id)
+        assert mine
+        assert all(sp.trace_id == outcome.trace_id for sp in mine)
+        # Whatever the victim emitted before dying carries the victim's
+        # ids — nothing unattributed, nothing stamped with the
+        # survivor's identity.
+        for sp in spans:
+            if sp.query_id != outcome.query_id:
+                assert sp.query_id >= 0
+                assert sp.trace_id and sp.trace_id != outcome.trace_id
+        # The survivor's metric delta and ledger match the pristine
+        # one-shot run exactly: the cancellation polluted nothing.
+        assert outcome.metrics == reference.stats.metrics
+        assert _ledger(outcome.stats) == _ledger(reference.stats)
+        assert not active_segments()
+
+    def test_chaos_retry_waste_stays_with_faulty_query(self):
+        enable()
+        s, t, _ = perm_pair(N, BUDGET, seed=0, style="mixed")
+        reference = mpc_ulam(s, t, x=0.25, eps=0.5, seed=3)
+        tracer = Tracer.in_memory()
+        queries = [
+            {"algo": "ulam", "s": s, "t": t, "seed": 2,
+             "fault_plan": FaultPlan.from_spec(
+                 "crash=0.4,straggle=0.2x4", seed=7),
+             "max_attempts": 3},
+            {"algo": "ulam", "s": s, "t": t, "seed": 3},
+        ]
+        outcomes, _ = run_workload(queries, tracer=tracer,
+                                   check_guarantees=False)
+        faulty, clean = outcomes
+        assert faulty.stats.total_attempts > faulty.stats.n_rounds
+
+        spans = tracer.spans
+        wasted = [sp for sp in spans if sp.wasted]
+        assert wasted, "seeded fault plan produced no failed attempts"
+        assert {sp.trace_id for sp in wasted} == {faulty.trace_id}
+        assert {sp.query_id for sp in wasted} == {faulty.query_id}
+        clean_spans = filter_spans(spans, clean.query_id)
+        assert clean_spans
+        assert not any(sp.wasted for sp in clean_spans)
+        # The clean sibling is indistinguishable from a run in an empty
+        # process: its sibling's retries charged it nothing.
+        assert clean.metrics == reference.stats.metrics
+        assert _ledger(clean.stats) == _ledger(reference.stats)
         assert not active_segments()
 
 

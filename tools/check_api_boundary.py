@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Enforce the MPC-layer API boundaries (stdlib only, CI-friendly).
 
-Six rules:
+Seven rules:
 
 * Algorithm drivers must submit rounds through :mod:`repro.mpc.plan`
   (``Pipeline``/``RoundSpec``/``run_plan``) so that shuffle volume and
@@ -39,6 +39,12 @@ Six rules:
   or tools would silently fork that resource model.  The executor A/B
   benchmark and the cluster example are the sanctioned stand-alone
   exceptions.
+* HTTP server primitives (``http.server`` /
+  ``ThreadingHTTPServer``/``BaseHTTPRequestHandler``) may be used only
+  inside ``repro/obs`` and ``repro/cli.py``: the exporter is the single
+  network surface of the codebase, so health semantics, content types
+  and the read-only-handler discipline live in exactly one place —
+  engines, drivers and the service layer stay network-free.
 
 Exit status 0 when clean; 1 with a per-offence listing otherwise.
 
@@ -149,6 +155,18 @@ RULES = {
         "repro.service (DistanceService / run_workload) or accept a "
         "ready simulator instead of constructing pools or planes.",
     ),
+    "http-exporter": (
+        re.compile(r"\bhttp\.server\b|\bfrom\s+http\s+import\b|"
+                   r"\b(?:ThreadingHTTPServer|HTTPServer|"
+                   r"BaseHTTPRequestHandler)\b"),
+        ("src", "benchmarks", "examples"),
+        ("src/repro/obs/", "src/repro/cli.py"),
+        "HTTP server construction outside src/repro/obs/ and "
+        "src/repro/cli.py",
+        "The exporter is the one network surface: serve endpoints "
+        "through repro.obs.ObservabilityServer (bind/start/stop) "
+        "instead of building HTTP servers elsewhere.",
+    ),
 }
 
 #: Union of every rule's scan dirs (computed, not configured).
@@ -192,8 +210,8 @@ def main(argv):
         return 1
     print("API boundary clean: no direct run_round calls, sink "
           "constructions, metrics mutation, raw shared_memory use, "
-          "driver imports, or pool/data-plane construction outside "
-          "their sanctioned modules")
+          "driver imports, pool/data-plane construction, or HTTP "
+          "server construction outside their sanctioned modules")
     return 0
 
 

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""SLO gate: replay the committed baseline workloads and check burn rates.
+
+Where ``tools/check_regression.py`` gates the deterministic ledger
+(work, words, memory), this gate checks the *service objectives* of
+:mod:`repro.obs.slo`: every replayed query must stay inside its
+engine's round budget, pass the paper-guarantee monitor, finish under
+the latency budget, and lose no machine contribution to exhausted
+retries.  The gate fails (exit 1) when any engine's error-budget burn
+rate exceeds 1x over the replayed sample window.
+
+Replayed workloads:
+
+* every ``serve-bench`` record in the baseline (the E23 service
+  workload: its fresh ``per_query`` rows each become one SLO sample);
+* every one-shot ``ulam``/``edit``/``chaos``/``solve`` record (one
+  sample each, from the fresh run's summary + guarantee verdict).
+
+``--inject-drop`` additionally runs a crash-heavy chaos configuration
+with ``--on-exhausted drop`` and feeds that sample through the same
+monitor — machine contributions are dropped, so the ``faults`` (and
+typically ``guarantees``) dimension must burn far above 1x and the gate
+must fail.  CI runs the gate twice: plain (must pass) and with the
+injection (must fail), proving the monitor actually discriminates.
+
+Usage::
+
+    python tools/check_slo.py                  # replay + gate (CI)
+    python tools/check_slo.py --latency-budget 60
+    python tools/check_slo.py --inject-drop    # must exit non-zero
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.slo import (SLOMonitor, default_slos,  # noqa: E402
+                           sample_from_record)
+from repro.registry import load_baseline  # noqa: E402
+
+#: One-shot baseline commands that replay into one SLO sample each.
+ONE_SHOT_COMMANDS = ("ulam", "edit", "chaos", "solve")
+
+#: The crash-heavy drop-mode run for ``--inject-drop``.  The fault plan
+#: is seeded, so the outcome is deterministic: at crash=0.5 with 2
+#: attempts and seed 0 some machines survive (an all-dropped round has
+#: nothing to degrade to and raises instead) but 2 exhaust their
+#: retries and are dropped, which both burns the ``faults`` dimension
+#: and skews the answer past the paper guarantee.
+DROP_INJECTION = ["chaos", "--algo", "ulam", "--n", "128",
+                  "--budget", "8", "--fault-plan", "crash=0.5",
+                  "--retries", "2", "--on-exhausted", "drop",
+                  "--seed", "0"]
+
+
+def run_cli(cli_args: list) -> dict:
+    """Run ``python -m repro <cli_args> --json``; return the run record.
+
+    Guarantee violations exit 1 but still print the record — the SLO
+    monitor judges them via the record's ``guarantees`` block, so the
+    exit code is only fatal when no record came out at all.
+    """
+    cmd = [sys.executable, "-m", "repro"] + cli_args \
+        + ["--json", "--no-history", "--check-guarantees"]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env,
+                          cwd=str(ROOT), timeout=600)
+    out = proc.stdout.strip()
+    if not out:
+        raise RuntimeError(
+            f"{' '.join(cmd)} produced no record "
+            f"(exit {proc.returncode}):\n{proc.stderr}")
+    return json.loads(out.splitlines()[-1])
+
+
+def replay_args(record: dict) -> list:
+    """The CLI argv that reproduces one baseline record's configuration."""
+    params = record["params"]
+    out = [record["command"], "--n", str(params["n"]),
+           "--seed", str(params["seed"])]
+    if params.get("x") is not None:
+        out += ["--x", str(params["x"])]
+    if params.get("eps") is not None:
+        out += ["--eps", str(params["eps"])]
+    if params.get("budget") is not None:
+        out += ["--budget", str(params["budget"])]
+    if record["command"] == "solve":
+        out += ["--distance", str(record.get("distance", "edit")),
+                "--engine", str(record.get("engine_spec", "auto"))]
+    if record["command"] == "serve-bench":
+        out += ["--queries", str(record.get("queries", 8))]
+    return out
+
+
+def collect_samples(baseline: list) -> list:
+    """Replay the baseline; return ``(label, QuerySample)`` pairs."""
+    samples = []
+    for record in baseline:
+        command = record.get("command")
+        if command == "serve-bench":
+            fresh = run_cli(replay_args(record))
+            for row in fresh.get("per_query", []):
+                label = (f"serve-bench q{row.get('query_id')} "
+                         f"{row.get('engine')}")
+                samples.append((label, sample_from_record(row)))
+        elif command in ONE_SHOT_COMMANDS:
+            fresh = run_cli(replay_args(record))
+            label = (f"{command} n={record['params'].get('n')} "
+                     f"{fresh.get('engine', '')}")
+            samples.append((label, sample_from_record(fresh)))
+    return samples
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline",
+                        default=str(ROOT / "BENCH_table1.json"),
+                        help="committed baseline records")
+    parser.add_argument("--latency-budget", type=float, default=30.0,
+                        help="per-query latency budget in seconds "
+                             "(default %(default)s — generous: the "
+                             "latency dimension catches order-of-"
+                             "magnitude regressions, not CI noise)")
+    parser.add_argument("--inject-drop", action="store_true",
+                        help="also run a crash-heavy drop-mode chaos "
+                             "config; the gate must then FAIL (used by "
+                             "CI to prove the monitor discriminates)")
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline(args.baseline)
+    if not baseline:
+        print(f"{args.baseline}: no baseline records", file=sys.stderr)
+        return 2
+
+    samples = collect_samples(baseline)
+    if args.inject_drop:
+        record = run_cli(list(DROP_INJECTION))
+        samples.append(("injected drop-mode chaos",
+                        sample_from_record(record)))
+    if not samples:
+        print("no baseline workload produced samples", file=sys.stderr)
+        return 2
+
+    monitor = SLOMonitor(default_slos(latency_p99=args.latency_budget))
+    for label, sample in samples:
+        monitor.observe(sample)
+        dims = sample.violations(monitor.slo_for(sample.engine))
+        bad = [dim for dim, is_bad in dims.items() if is_bad]
+        print(f"  {label:<40} "
+              + ("VIOLATES " + ",".join(bad) if bad else "ok"))
+
+    print()
+    for report in monitor.reports():
+        dims = "  ".join(f"{dim}={row['burn']:.2f}x"
+                         for dim, row in report.dimensions.items())
+        print(f"{report.engine:<20} samples={report.n_samples:<4} "
+              f"{dims}  " + ("ok" if report.ok else "BURNING"))
+    alerts = monitor.alerts()
+    if alerts:
+        print()
+        for alert in alerts:
+            print(f"ALERT: {alert}")
+        print(f"\nSLO gate FAILED ({len(alerts)} dimension(s) burning "
+              "over budget)")
+        return 1
+    print("\nSLO gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
