@@ -340,6 +340,10 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="PATH", help="history file to read")
     hi.add_argument("--limit", type=int, default=20,
                     help="show at most the newest N records (default 20)")
+    hi.add_argument("--since", type=str, default=None, metavar="TIMESTAMP",
+                    help="only show records at or after this ISO-8601 "
+                         "UTC timestamp; a prefix like 2026-08 works "
+                         "(applied before --limit)")
     hi.add_argument("--engine", type=str, default=None, metavar="NAME",
                     help="only show records produced by this engine")
     hi.add_argument("--json", action="store_true",
@@ -360,6 +364,48 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--engine", type=str, default=None, metavar="NAME",
                     help="only compare history records produced by "
                          "this engine")
+
+    pf = sub.add_parser(
+        "profile", help="render the kernel profile of a run record or "
+                        "span trace; export flamegraphs")
+    pf.add_argument("run", help="a history record file / span trace "
+                                "file, or a history selector: 'last', "
+                                "a negative index like -2, or a trace "
+                                "id like svc1-q3")
+    pf.add_argument("--history", type=str, default=DEFAULT_HISTORY_PATH,
+                    metavar="PATH",
+                    help="history file for selector lookups")
+    pf.add_argument("--flame", type=str, default=None, metavar="OUT",
+                    help="write a Brendan-Gregg collapsed-stack file "
+                         "(feed to flamegraph.pl / inferno / speedscope)")
+    pf.add_argument("--chrome", type=str, default=None, metavar="OUT",
+                    help="for span-trace inputs: also export the Chrome "
+                         "trace (profile args + dp_cells counter track)")
+    pf.add_argument("--weight", choices=("seconds", "cells"),
+                    default="seconds",
+                    help="flamegraph frame weight (default seconds)")
+    pf.add_argument("--top", type=int, default=0, metavar="N",
+                    help="show only the N hottest kernels (default all)")
+    pf.add_argument("--json", action="store_true",
+                    help="print the profile rows as JSON")
+
+    pd = sub.add_parser(
+        "profdiff", help="differential kernel profile of two runs: "
+                         "rank kernels by wall-clock / cells delta")
+    pd.add_argument("a", help="baseline run: record file, span trace, "
+                              "or history selector")
+    pd.add_argument("b", help="fresh run: record file, span trace, or "
+                              "history selector")
+    pd.add_argument("--history", type=str, default=DEFAULT_HISTORY_PATH,
+                    metavar="PATH",
+                    help="history file for selector lookups")
+    pd.add_argument("--by", choices=("seconds", "cells", "calls"),
+                    default="seconds",
+                    help="ranking column (default seconds)")
+    pd.add_argument("--top", type=int, default=0, metavar="N",
+                    help="show only the N largest deltas (default all)")
+    pd.add_argument("--json", action="store_true",
+                    help="print the diff rows as JSON")
 
     tr = sub.add_parser(
         "trace", help="render timeline and skew reports from a saved "
@@ -498,6 +544,13 @@ def _print_result(title: str, answer: int, exact: Optional[int],
     metrics = data.pop("metrics", None)
     if metrics:
         data["metrics_collected"] = len(metrics)
+    # Likewise the kernel profile: the rows carry wall-clock seconds
+    # (nondeterministic), so the human report names the kernels only
+    # and `repro profile last` renders the full attribution.
+    profile_rows = data.pop("profile", None)
+    if profile_rows:
+        data["profiled_kernels"] = ",".join(
+            sorted({str(row["kernel"]) for row in profile_rows}))
     print(format_kv(title, data))
     if show_comm:
         from .analysis import format_communication
@@ -508,16 +561,21 @@ def _print_result(title: str, answer: int, exact: Optional[int],
 
 
 def _enable_metrics() -> None:
-    """Turn on metrics collection for this run.
+    """Turn on metrics and kernel-profile collection for this run.
 
     Per-run attribution comes from :func:`repro.metrics.scoped_snapshot`
     (the query runner wraps every execution in a scope), so the
     process-cumulative registry is *not* reset here: records stay
     identical across invocations sharing one process (tests, notebooks),
-    and concurrent queries each see only their own delta.
+    and concurrent queries each see only their own delta.  The kernel
+    profiler rides along: CLI runs always want wall-clock attribution
+    in their records, and its accumulators are scoped per machine task,
+    so enabling it globally cannot bleed between runs either.
     """
     from .metrics import enable
+    from .obs.profile import enable as enable_profiling
     enable()
+    enable_profiling()
 
 
 def _effective_budget(args) -> Optional[int]:
@@ -693,11 +751,13 @@ def _cmd_top(args) -> int:
         try:
             h_code, h_body = _http_get(base + "/healthz")
             m_code, m_body = _http_get(base + "/metrics")
+            p_code, p_body = _http_get(base + "/profile")
         except OSError as exc:
             print(f"top: {base}: {exc}", file=sys.stderr)
             return 1
         health = json.loads(h_body) if h_code in (200, 503) else {}
         samples = _parse_prometheus(m_body) if m_code == 200 else {}
+        prof = json.loads(p_body) if p_code == 200 else {}
         view = {
             "service": health.get("service") or "-",
             "status": health.get("status", f"http {h_code}"),
@@ -718,6 +778,12 @@ def _cmd_top(args) -> int:
                 if 'engine="' in key:
                     engine = key.split('engine="', 1)[1].split('"')[0]
                 view[f"queries[{engine}]"] = int(value)
+        kernels = prof.get("kernels") or {}
+        if kernels:
+            from .obs.profile import hot_kernels
+            view["hot_kernels"] = "  ".join(
+                f"{k} {share:.0%}" for k, _, share
+                in hot_kernels(kernels, by="seconds", top=3))
         view["metric_samples"] = len(samples)
         print(format_kv(f"repro top — {base}", view))
         shown += 1
@@ -725,6 +791,167 @@ def _cmd_top(args) -> int:
             return 0 if health.get("healthy") else 1
         print()
         _time.sleep(args.interval)
+
+
+def _resolve_profile_run(spec: str, history_path: str):
+    """Resolve a ``repro profile`` / ``profdiff`` run argument.
+
+    Returns ``("spans", [Span, ...])`` or ``("record", record_dict)``.
+    A spec naming an existing file is loaded directly — a JSONL span
+    trace if it parses as one, else a record file (JSON list or JSONL
+    history, newest record wins).  Otherwise the spec selects from the
+    history: ``last``, a negative index like ``-2``, or a trace id like
+    ``svc1-q3`` (serve records carry their query's trace id).
+    """
+    import os
+    if os.path.exists(spec):
+        from .mpc import read_jsonl
+        try:
+            spans = read_jsonl(spec)
+        except Exception:
+            spans = []
+        if spans:
+            return "spans", spans
+        from .registry import load_baseline
+        try:
+            records = load_baseline(spec)
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise SystemExit(
+                f"{spec}: neither a span trace nor a record file "
+                f"({exc})")
+        if not records:
+            raise SystemExit(f"{spec}: no records")
+        return "record", records[-1]
+    from .registry import read_history
+    records = read_history(history_path)
+    if not records:
+        raise SystemExit(f"{spec}: not a file, and no run history at "
+                         f"{history_path} to select from")
+    if spec == "last":
+        return "record", records[-1]
+    if spec.lstrip("-").isdigit():
+        try:
+            return "record", records[int(spec)]
+        except IndexError:
+            raise SystemExit(
+                f"history index {spec} out of range "
+                f"({len(records)} record(s) in {history_path})")
+    matches = [r for r in records if r.get("trace_id") == spec]
+    if not matches:
+        raise SystemExit(
+            f"{spec!r}: not a file, not 'last'/an index, and no "
+            f"history record in {history_path} has this trace id")
+    return "record", matches[-1]
+
+
+def _profile_totals(kind: str, payload):
+    from .obs.profile import totals_from_record, totals_from_spans
+    return (totals_from_spans(payload) if kind == "spans"
+            else totals_from_record(payload))
+
+
+def _format_profile_totals(totals: dict, top: int = 0) -> str:
+    """Per-kernel totals table, hottest wall-clock first."""
+    from .obs.profile import hot_kernels
+    ranked = hot_kernels(totals, by="seconds", top=top or len(totals))
+    lines = [f"  {'kernel':<14} {'calls':>10} {'cells':>14} "
+             f"{'seconds':>10} {'share':>7}"]
+    for kernel, seconds, share in ranked:
+        t = totals[kernel]
+        lines.append(f"  {kernel:<14} {int(t['calls']):>10} "
+                     f"{int(t['cells']):>14} {seconds:>10.4f} "
+                     f"{share:>7.1%}")
+    return "\n".join(lines)
+
+
+def _cmd_profile(args) -> int:
+    from .obs.profile import (flame_from_record, flame_from_spans,
+                              write_collapsed)
+    kind, payload = _resolve_profile_run(args.run, args.history)
+    totals = _profile_totals(kind, payload)
+    if not totals:
+        print(f"{args.run}: no kernel profile data (was the run made "
+              "with profiling on? CLI runs enable it automatically; "
+              "library callers use repro.obs.profile.enable())",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        out = {"source": kind, "kernels": totals}
+        if kind == "record":
+            from .registry import record_profile
+            out["rows"] = record_profile(payload)
+        print(json.dumps(out, sort_keys=True))
+    else:
+        title = (f"Kernel profile — {args.run} "
+                 f"({'span trace' if kind == 'spans' else 'run record'})")
+        print(title)
+        print("-" * len(title))
+        print(_format_profile_totals(totals, top=args.top))
+    if args.flame is not None:
+        lines = (flame_from_spans(payload, weight=args.weight)
+                 if kind == "spans"
+                 else flame_from_record(payload, weight=args.weight))
+        write_collapsed(lines, args.flame)
+        print(f"collapsed stacks ({args.weight}) written to "
+              f"{args.flame} ({len(lines)} frames; render with "
+              "flamegraph.pl or speedscope)")
+    if args.chrome is not None:
+        if kind != "spans":
+            raise SystemExit("--chrome needs a span-trace input "
+                             "(records have no timeline)")
+        from .mpc import export_chrome_trace
+        export_chrome_trace(payload, args.chrome)
+        print(f"Chrome trace written to {args.chrome} "
+              "(open in https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_profdiff(args) -> int:
+    from .obs.profile import diff_profiles, format_profile_diff
+    kind_a, payload_a = _resolve_profile_run(args.a, args.history)
+    kind_b, payload_b = _resolve_profile_run(args.b, args.history)
+    totals_a = _profile_totals(kind_a, payload_a)
+    totals_b = _profile_totals(kind_b, payload_b)
+    for label, totals in ((args.a, totals_a), (args.b, totals_b)):
+        if not totals:
+            print(f"{label}: no kernel profile data", file=sys.stderr)
+            return 1
+    rows = diff_profiles(totals_a, totals_b, by=args.by)
+    if args.json:
+        print(json.dumps({"by": args.by, "a": args.a, "b": args.b,
+                          "rows": rows}, sort_keys=True))
+        return 0
+    title = f"Kernel profile diff — A={args.a}  B={args.b}  (by {args.by})"
+    print(title)
+    print("-" * len(title))
+    print(format_profile_diff(rows, by=args.by, top=args.top))
+    if rows and rows[0][f"delta_{args.by}"] > 0:
+        top_row = rows[0]
+        change = top_row.get("change")
+        change_s = "" if change is None else f" ({change:+.1%})"
+        print(f"\nhottest regression: {top_row['kernel']} "
+              f"+{top_row[f'delta_{args.by}']:.4f} {args.by}{change_s}"
+              if args.by == "seconds" else
+              f"\nhottest regression: {top_row['kernel']} "
+              f"+{top_row[f'delta_{args.by}']} {args.by}{change_s}")
+    return 0
+
+
+def _kernel_attribution(baseline: dict, fresh: dict) -> str:
+    """Top-3 kernel wall-clock deltas between two run records, or ``""``
+    when either side predates the kernel profiler (tolerant, so the
+    gate's attribution is best-effort)."""
+    from .obs.profile import (diff_profiles, format_profile_diff,
+                              totals_from_record)
+    a = totals_from_record(baseline)
+    b = totals_from_record(fresh)
+    if not a or not b:
+        return ""
+    rows = diff_profiles(a, b, by="seconds")
+    if not rows:
+        return ""
+    return (f"  kernel attribution (hottest delta: {rows[0]['kernel']}):\n"
+            + format_profile_diff(rows, by="seconds", top=3))
 
 
 def _execute_engine(args, engine, distance: str, s, t, label: str):
@@ -1075,14 +1302,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if guarantees is None or guarantees["passed"] else 1
 
     if args.command == "history":
-        from .registry import format_record, read_history, record_engine
+        from .registry import (filter_since, format_record, read_history,
+                               record_engine)
         records = read_history(args.history)
         if args.engine:
             records = [r for r in records
                        if record_engine(r) == args.engine]
+        if args.since:
+            records = filter_since(records, args.since)
         if not records:
             where = args.history + (f" for engine {args.engine}"
                                     if args.engine else "")
+            if args.since:
+                where += f" since {args.since}"
             print(f"no run history at {where}")
             return 0
         shown = records[-args.limit:] if args.limit else records
@@ -1130,6 +1362,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{label}: "
                   + ("REGRESSED" if regressed else "ok"))
             print(format_comparison(comparison))
+            if regressed:
+                attribution = _kernel_attribution(base, matches[-1])
+                if attribution:
+                    print(attribution)
         if not any_match:
             raise SystemExit(
                 "no history run matches any baseline record; run the "
@@ -1223,6 +1459,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             _print_result(engine.caps.title, eres.distance, exact,
                           eres.stats, eres.extra, show_comm=args.comm)
         return _finish_run(args, "hss", engine, eres, s, t, exact)
+
+    if args.command == "profile":
+        return _cmd_profile(args)
+
+    if args.command == "profdiff":
+        return _cmd_profdiff(args)
 
     if args.command == "top":
         return _cmd_top(args)

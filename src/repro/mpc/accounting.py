@@ -144,6 +144,12 @@ class RoundStats:
     failed_attempts: int = 0
     wasted_work: int = 0
     wasted_wall_seconds: float = 0.0
+    # Kernel-profile accounting (non-empty only when the kernel profiler
+    # was enabled; see repro.obs.profile).  Maps kernel name to
+    # ``[calls, cells, seconds, machines, max_seconds, max_machine]`` —
+    # totals across the round's machines plus the single hottest machine
+    # for that kernel, so skew stays visible after folding.
+    kernel_profile: Dict[str, list] = field(default_factory=dict)
 
     def observe_machine(self, input_words: int, output_words: int,
                         work: int) -> None:
@@ -155,6 +161,23 @@ class RoundStats:
         self.total_output_words += output_words
         self.max_work = max(self.max_work, work)
         self.total_work += work
+
+    def observe_profile(self, machine: int,
+                        profile: Dict[str, list]) -> None:
+        """Fold one machine's kernel profile into the round ledger."""
+        for kernel, (calls, cells, seconds) in profile.items():
+            rec = self.kernel_profile.get(kernel)
+            if rec is None:
+                self.kernel_profile[kernel] = [calls, cells, seconds,
+                                               1, seconds, machine]
+            else:
+                rec[0] += calls
+                rec[1] += cells
+                rec[2] += seconds
+                rec[3] += 1
+                if seconds > rec[4]:
+                    rec[4] = seconds
+                    rec[5] = machine
 
 
 @dataclass
@@ -297,6 +320,49 @@ class RunStats:
         """Abstract work spent on attempts whose output was discarded."""
         return sum(r.wasted_work for r in self.rounds)
 
+    # -- kernel-profile aggregates (non-empty only when the profiler ran)
+    @property
+    def profile_active(self) -> bool:
+        """True when any round carries kernel-profile data."""
+        return any(r.kernel_profile for r in self.rounds)
+
+    def profile_rows(self) -> List[dict]:
+        """Per-(round name, kernel) profile rows, repeated rounds folded.
+
+        Same-named rounds (parameter-guess siblings, per-query phases)
+        merge the way :meth:`merge` combines rounds: calls, cells,
+        seconds and machine counts add up; the hottest machine is kept
+        by ``max_seconds``.  This is the ``profile`` block persisted in
+        history records and the input to the flamegraph exporter.
+        """
+        order: List[tuple] = []
+        folded: Dict[tuple, list] = {}
+        for r in self.rounds:
+            for kernel, rec in r.kernel_profile.items():
+                key = (r.name, kernel)
+                dst = folded.get(key)
+                if dst is None:
+                    folded[key] = list(rec)
+                    order.append(key)
+                else:
+                    dst[0] += rec[0]
+                    dst[1] += rec[1]
+                    dst[2] += rec[2]
+                    dst[3] += rec[3]
+                    if rec[4] > dst[4]:
+                        dst[4] = rec[4]
+                        dst[5] = rec[5]
+        rows = []
+        for round_name, kernel in order:
+            f = folded[(round_name, kernel)]
+            rows.append({"round": round_name, "kernel": kernel,
+                         "calls": int(f[0]), "cells": int(f[1]),
+                         "seconds": round(f[2], 6),
+                         "machines": int(f[3]),
+                         "max_seconds": round(f[4], 6),
+                         "max_machine": int(f[5])})
+        return rows
+
     def snapshot(self) -> "RunStats":
         """Deep copy of the ledger, detached from the simulator.
 
@@ -341,6 +407,8 @@ class RunStats:
             combined.failed_attempts = r.failed_attempts
             combined.wasted_work = r.wasted_work
             combined.wasted_wall_seconds = r.wasted_wall_seconds
+            combined.kernel_profile = {k: list(v)
+                                       for k, v in r.kernel_profile.items()}
             if i < len(shorter):
                 o = shorter[i]
                 combined.machines += o.machines
@@ -372,6 +440,19 @@ class RunStats:
                 combined.wasted_work += o.wasted_work
                 combined.wasted_wall_seconds = max(
                     combined.wasted_wall_seconds, o.wasted_wall_seconds)
+                # Kernel profiles: totals add up, hottest machine wins.
+                for kernel, rec in o.kernel_profile.items():
+                    dst = combined.kernel_profile.get(kernel)
+                    if dst is None:
+                        combined.kernel_profile[kernel] = list(rec)
+                    else:
+                        dst[0] += rec[0]
+                        dst[1] += rec[1]
+                        dst[2] += rec[2]
+                        dst[3] += rec[3]
+                        if rec[4] > dst[4]:
+                            dst[4] = rec[4]
+                            dst[5] = rec[5]
             merged.rounds.append(combined)
         return merged
 
@@ -386,8 +467,10 @@ class RunStats:
         """Return the headline numbers as a plain dict (for reports).
 
         The communication block (shuffle/broadcast) is included only for
-        runs driven through :mod:`repro.mpc.plan`, and the recovery block
-        only when recovery actually happened, so legacy ledgers stay
+        runs driven through :mod:`repro.mpc.plan`, the recovery block
+        only when recovery actually happened, and the ``profile`` block
+        (per-round kernel attribution, :meth:`profile_rows`) only when
+        the kernel profiler was on — so legacy ledgers stay
         byte-identical to the pre-pipeline / pre-chaos formats.
         """
         out = {
@@ -417,6 +500,8 @@ class RunStats:
                 "failed_attempts": self.failed_attempts,
                 "wasted_work": self.wasted_work,
             })
+        if self.profile_active:
+            out["profile"] = self.profile_rows()
         if self.metrics:
             out["metrics"] = copy.deepcopy(self.metrics)
         return out

@@ -29,9 +29,23 @@ import pickle
 from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs.profile import enable as _enable_profiling, profiling_enabled
 from .machine import Broadcast, MachineResult, MachineTask, execute_task
 
 __all__ = ["Executor", "SerialExecutor", "ProcessPoolExecutor"]
+
+
+def _worker_init(profiling_on: bool) -> None:
+    """Pool-worker initializer: replicate driver-side profiler state.
+
+    The kernel profiler's on/off switch is a module global; fork-started
+    workers happen to inherit it, but spawn-started workers would not.
+    Capturing the flag at pool construction and re-applying it here makes
+    :class:`~repro.mpc.machine.MachineResult.profile` collection
+    start-method-independent.
+    """
+    if profiling_on:
+        _enable_profiling()
 
 
 class Executor:
@@ -149,7 +163,9 @@ class ProcessPoolExecutor(Executor):
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
             self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.max_workers)
+                max_workers=self.max_workers,
+                initializer=_worker_init,
+                initargs=(profiling_enabled(),))
         return self._pool
 
     def run(self, tasks: Sequence[MachineTask],

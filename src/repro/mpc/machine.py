@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from ..obs.profile import collect_profile
 from .accounting import WorkMeter, isolated_meters
 from .shm import resolve_payload
 
@@ -108,6 +109,12 @@ class MachineResult:
     ``worker`` is the OS pid that ran the task and ``started`` its
     ``time.perf_counter()`` start (a system-wide monotonic clock on
     Linux, hence comparable across workers and the driver).
+
+    ``profile`` rides the same way for the kernel profiler
+    (:mod:`repro.obs.profile`): ``{kernel: [calls, cells, seconds]}``
+    collected around the machine function, or ``None`` when profiling
+    was disabled in the executing process — the simulator folds it into
+    the round ledger exactly like span data.
     """
 
     output: Any
@@ -115,6 +122,7 @@ class MachineResult:
     wall_seconds: float
     worker: int = 0
     started: float = 0.0
+    profile: Optional[Dict[str, list]] = None
 
 
 def execute_task(task: MachineTask,
@@ -138,8 +146,10 @@ def execute_task(task: MachineTask,
     """
     start = time.perf_counter()
     payload = merge_broadcast(resolve_payload(task.payload), broadcast)
-    with isolated_meters(), WorkMeter() as meter:
+    with isolated_meters(), WorkMeter() as meter, \
+            collect_profile() as prof:
         output = task.fn(payload)
     return MachineResult(output=output, work=meter.total,
                          wall_seconds=time.perf_counter() - start,
-                         worker=os.getpid(), started=start)
+                         worker=os.getpid(), started=start,
+                         profile=prof.data)

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs.profile import fold_global
 from .accounting import RoundStats, add_work
 from .chaos_executor import FaultInjectingExecutor
 from .errors import RoundFailedError, RoundProtocolError
@@ -38,7 +39,7 @@ from .faults import FaultPlan, fault_kind, is_failed
 from .machine import MachineTask
 from .simulator import MPCSimulator, prepare_broadcast
 from .sizeof import sizeof
-from .telemetry import Span, Tracer
+from .telemetry import Span, Tracer, current_trace
 
 __all__ = ["RetryPolicy", "ResilientSimulator"]
 
@@ -222,7 +223,8 @@ class ResilientSimulator(MPCSimulator):
                             end=result.started + result.wall_seconds,
                             work=result.work, input_words=input_sizes[i],
                             broadcast_words=broadcast_words,
-                            wasted=True, fault=fault_kind(result.output)))
+                            wasted=True, fault=fault_kind(result.output),
+                            profile=result.profile or {}))
                 else:
                     results[i] = result
                     success_attempt[i] = attempt
@@ -254,6 +256,12 @@ class ResilientSimulator(MPCSimulator):
             round_stats.observe_machine(input_sizes[i], out_words,
                                         result.work)
             add_work(result.work)
+            # Only surviving attempts reach the kernel-profile ledger:
+            # wasted attempts are accounted as wasted_work, and folding
+            # their kernels in would misattribute the run's hot spots.
+            if result.profile:
+                round_stats.observe_profile(i, result.profile)
+                fold_global(result.profile, *current_trace())
             if tracer is not None:
                 tracer.emit(Span(
                     kind="machine", name=name, machine=i,
@@ -262,7 +270,8 @@ class ResilientSimulator(MPCSimulator):
                     end=result.started + result.wall_seconds,
                     work=result.work, input_words=input_sizes[i],
                     output_words=out_words,
-                    broadcast_words=broadcast_words))
+                    broadcast_words=broadcast_words,
+                    profile=result.profile or {}))
             outputs.append(result.output)
 
         round_stats.attempts = attempt

@@ -29,12 +29,13 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from typing import Dict, Tuple
 
+from ..obs.profile import fold_global
 from .accounting import RoundStats, RunStats, add_work
 from .errors import MemoryLimitExceeded, RoundProtocolError
 from .executor import Executor, SerialExecutor
 from .machine import Broadcast, MachineTask
 from .sizeof import sizeof
-from .telemetry import Span, Tracer
+from .telemetry import Span, Tracer, current_trace
 
 __all__ = ["MPCSimulator"]
 
@@ -182,6 +183,9 @@ class MPCSimulator:
             # itself, so ``with WorkMeter() as m: algo(sim)`` sees the whole
             # computation even under a process-pool executor.
             add_work(result.work)
+            if result.profile:
+                round_stats.observe_profile(i, result.profile)
+                fold_global(result.profile, *current_trace())
             if tracer is not None:
                 tracer.emit(Span(
                     kind="machine", name=name, machine=i,
@@ -189,7 +193,8 @@ class MPCSimulator:
                     end=result.started + result.wall_seconds,
                     work=result.work, input_words=input_sizes[i],
                     output_words=out_words,
-                    broadcast_words=broadcast_words))
+                    broadcast_words=broadcast_words,
+                    profile=result.profile or {}))
             outputs.append(result.output)
 
         if tracer is not None:

@@ -33,6 +33,9 @@ interval ``[start, end)``:
 ``fault``        ``""`` | ``"crash"`` | ``"corrupt"`` | ``"error"``
 ``trace_id``     service-minted query correlation id (``""`` one-shot)
 ``query_id``     service query number (``-1`` outside the service)
+``profile``      ``{kernel: [calls, cells, seconds]}`` attribution from
+                 :mod:`repro.obs.profile` (machine spans only; empty
+                 when the kernel profiler was off)
 ===============  ============================================================
 
 Trace context
@@ -74,8 +77,9 @@ import os
 import pathlib
 import time
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, fields
-from typing import IO, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import asdict, dataclass, field, fields
+from typing import IO, Dict, Iterator, List, Optional, Sequence, Tuple, \
+    Union
 
 __all__ = ["Span", "Sink", "InMemorySink", "JsonlSink", "Tracer",
            "current_trace", "trace_context",
@@ -137,6 +141,12 @@ class Span:
     fault: str = ""
     trace_id: str = ""
     query_id: int = -1
+    # Kernel-profile attribution for machine spans: ``{kernel: [calls,
+    # cells, seconds]}`` from repro.obs.profile, empty when the
+    # profiler was off (so legacy traces round-trip unchanged — old
+    # readers of *new* traces reject the field by design, like any
+    # schema growth under span_from_dict's strict policy).
+    profile: Dict[str, list] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:
@@ -342,8 +352,11 @@ def export_chrome_trace(spans: Sequence[Span],
       short ones.
 
     Ledger quantities and the ``trace_id`` travel in ``args``.
-    Timestamps are rebased to the earliest span so the timeline starts
-    at zero.
+    Profiled machine spans additionally carry their per-kernel
+    ``profile`` map in ``args`` and feed a merged ``kernel dp_cells``
+    counter track (``"ph": "C"``, one per process group) showing the
+    cumulative cell flow per kernel over the timeline.  Timestamps are
+    rebased to the earliest span so the timeline starts at zero.
     """
     t0 = min((s.start for s in spans), default=0.0)
     events = []
@@ -355,25 +368,47 @@ def export_chrome_trace(spans: Sequence[Span],
         name = f"query {qid}" + (f" [{trace_id}]" if trace_id else "")
         events.append({"name": "process_name", "ph": "M", "pid": qid,
                        "tid": 0, "args": {"name": name}})
+    cells_totals: dict = {}
     for s in spans:
         label = s.name if s.machine < 0 else f"{s.name}[{s.machine}]"
         if s.attempt > 1:
             label += f" (attempt {s.attempt})"
+        pid = s.query_id if s.query_id >= 0 else s.worker
+        args = {"work": s.work, "input_words": s.input_words,
+                "output_words": s.output_words,
+                "broadcast_words": s.broadcast_words,
+                "attempt": s.attempt, "wasted": s.wasted,
+                "fault": s.fault, "worker": s.worker,
+                "trace_id": s.trace_id, "query_id": s.query_id}
+        if s.profile:
+            args["profile"] = s.profile
         events.append({
             "name": label,
             "cat": s.kind,
             "ph": "X",
             "ts": round((s.start - t0) * 1e6, 3),
             "dur": round(s.duration * 1e6, 3),
-            "pid": s.query_id if s.query_id >= 0 else s.worker,
+            "pid": pid,
             "tid": s.machine if s.machine >= 0 else 0,
-            "args": {"work": s.work, "input_words": s.input_words,
-                     "output_words": s.output_words,
-                     "broadcast_words": s.broadcast_words,
-                     "attempt": s.attempt, "wasted": s.wasted,
-                     "fault": s.fault, "worker": s.worker,
-                     "trace_id": s.trace_id, "query_id": s.query_id},
+            "args": args,
         })
+        # Merged per-track counter series: cumulative DP cells per
+        # kernel, sampled at each profiled span's end.  Renders as the
+        # "kernel dp_cells" stacked counter track under the span lanes,
+        # so Perfetto shows *which kernel* the cells flowed into over
+        # time without opening the JSONL.
+        if s.profile:
+            totals = cells_totals.setdefault(pid, {})
+            for kernel, rec in s.profile.items():
+                totals[kernel] = totals.get(kernel, 0) + rec[1]
+            events.append({
+                "name": "kernel dp_cells",
+                "ph": "C",
+                "ts": round((s.end - t0) * 1e6, 3),
+                "pid": pid,
+                "tid": 0,
+                "args": dict(totals),
+            })
     pathlib.Path(path).write_text(
         json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
                    indent=1, sort_keys=True))

@@ -50,7 +50,12 @@ _FIELD_TYPES: Dict[str, type] = {
     "failed_attempts": int,
     "wasted_work": int,
     "wasted_wall_seconds": float,
+    "kernel_profile": dict,
 }
+
+#: Per-entry layout of a ``kernel_profile`` value
+#: (see RoundStats.kernel_profile).
+_PROFILE_LAYOUT = (int, int, float, int, float, int)
 
 _ROUND_FIELDS = tuple(_FIELD_TYPES)
 
@@ -81,6 +86,41 @@ def _coerce(field: str, value: object) -> object:
             return float(value)
         raise ValueError(
             f"field {field!r} expects a number, got {value!r}")
+    if target is dict:
+        # kernel_profile: {kernel: [calls, cells, seconds, machines,
+        # max_seconds, max_machine]}; every slot re-typed to the layout
+        # so a float never sneaks into a count slot.
+        if not isinstance(value, dict):
+            raise ValueError(
+                f"field {field!r} expects a mapping, got {value!r}")
+        out = {}
+        for kernel, rec in value.items():
+            if not isinstance(kernel, str) or \
+                    not isinstance(rec, (list, tuple)) or \
+                    len(rec) != len(_PROFILE_LAYOUT):
+                raise ValueError(
+                    f"field {field!r} expects "
+                    f"{{kernel: {len(_PROFILE_LAYOUT)}-entry list}}, "
+                    f"got {kernel!r}: {rec!r}")
+            row = []
+            for slot, (want, v) in enumerate(zip(_PROFILE_LAYOUT, rec)):
+                if want is int:
+                    if isinstance(v, bool) or not isinstance(
+                            v, (int, float)) or (
+                            isinstance(v, float) and not v.is_integer()):
+                        raise ValueError(
+                            f"field {field!r}[{kernel!r}][{slot}] "
+                            f"expects an integer, got {v!r}")
+                    row.append(int(v))
+                else:
+                    if isinstance(v, bool) or not isinstance(
+                            v, (int, float)):
+                        raise ValueError(
+                            f"field {field!r}[{kernel!r}][{slot}] "
+                            f"expects a number, got {v!r}")
+                    row.append(float(v))
+            out[kernel] = row
+        return out
     raise AssertionError(f"unhandled target type for {field!r}")
 
 
@@ -93,7 +133,9 @@ def run_stats_to_dict(stats: RunStats) -> Dict[str, object]:
     """
     out: Dict[str, object] = {
         "summary": stats.summary(),
-        "rounds": [{f: getattr(r, f) for f in _ROUND_FIELDS}
+        "rounds": [{f: ({k: list(v) for k, v in getattr(r, f).items()}
+                        if _FIELD_TYPES[f] is dict else getattr(r, f))
+                    for f in _ROUND_FIELDS}
                    for r in stats.rounds],
     }
     if stats.metrics:

@@ -16,6 +16,10 @@ ops tooling expects:
 ``/readyz``
     Readiness (admission open): 200 once the service accepts queries,
     503 while closing/closed.
+``/profile``
+    JSON kernel-profile aggregate (:mod:`repro.obs.profile`): per-kernel
+    calls/cells/seconds for the whole process plus a bounded per-query
+    breakdown — what ``repro top`` renders as the hot-kernels column.
 
 Everything is stdlib (``http.server`` on a daemon thread) — the no-new-
 dependencies rule holds, and the server binds loopback by default.  The
@@ -206,6 +210,11 @@ class _Handler(BaseHTTPRequestHandler):
                                         "admission": status.get("admission")})
                             + "\n",
                             "application/json")
+            elif path == "/profile":
+                self._reply(200,
+                            json.dumps(owner.profile(), indent=2,
+                                       sort_keys=True) + "\n",
+                            "application/json")
             else:
                 self._reply(404, "not found\n", "text/plain")
         except Exception as exc:  # pragma: no cover - defensive
@@ -296,3 +305,8 @@ class ObservabilityServer:
     def metrics_text(self) -> str:
         return prometheus_exposition(get_registry().snapshot(),
                                      self.status())
+
+    def profile(self) -> dict:
+        """The process-wide kernel-profile aggregate (``/profile``)."""
+        from .profile import global_profile
+        return global_profile()

@@ -31,8 +31,9 @@ from typing import Dict, List, Optional, Tuple
 
 __all__ = ["SCHEMA_VERSION", "DEFAULT_HISTORY_PATH", "GATED_METRICS",
            "REGRESSION_TOLERANCE", "git_sha", "utc_timestamp",
-           "make_record", "record_engine", "append_record", "read_history",
-           "record_key",
+           "make_record", "record_engine", "record_profile",
+           "append_record", "read_history",
+           "record_key", "filter_since",
            "load_baseline", "match_baseline", "compare_records",
            "format_record", "format_comparison"]
 
@@ -118,6 +119,20 @@ def record_engine(record: dict) -> Optional[str]:
     return engine if isinstance(engine, str) else None
 
 
+def record_profile(record: dict) -> List[dict]:
+    """The record's kernel-profile rows (``summary.profile``), or ``[]``.
+
+    Tolerant read: records written before the kernel profiler, or runs
+    where it was off, simply lack the block.  Rows are per (round,
+    kernel) — see :meth:`repro.mpc.accounting.RunStats.profile_rows`.
+    """
+    summary = record.get("summary")
+    if not isinstance(summary, dict):
+        return []
+    rows = summary.get("profile")
+    return rows if isinstance(rows, list) else []
+
+
 def append_record(path: str, record: dict) -> None:
     """Append one record to the JSONL history, creating parents.
 
@@ -181,6 +196,19 @@ def record_key(record: dict) -> Tuple:
     params = record.get("params", {})
     return (record.get("command"),) + tuple(
         params.get(k) for k in _KEY_PARAMS)
+
+
+def filter_since(records: List[dict], since: str) -> List[dict]:
+    """Records whose timestamp is at or after *since* (ISO-8601 prefix).
+
+    Timestamps are zero-padded UTC ISO-8601 strings, so lexicographic
+    comparison is chronological and a prefix like ``2026-08`` works as a
+    month filter.  Records without a timestamp are excluded (they cannot
+    be shown to satisfy the cutoff).
+    """
+    return [r for r in records
+            if isinstance(r.get("timestamp"), str)
+            and r["timestamp"] >= since]
 
 
 def load_baseline(path: str) -> List[dict]:

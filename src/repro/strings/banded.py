@@ -20,12 +20,14 @@ import numpy as np
 
 from ..metrics import get_registry
 from ..mpc.accounting import add_work
+from ..obs.profile import kernel_probe
 from .types import INF, StringLike, as_array
 
 __all__ = ["levenshtein_banded", "levenshtein_doubling", "within_threshold"]
 
 _M_CELLS = get_registry().counter("strings.dp_cells", kernel="banded")
 _M_CALLS = get_registry().counter("strings.kernel_calls", kernel="banded")
+_PROBE = kernel_probe("banded")
 
 
 def levenshtein_banded(a: StringLike, b: StringLike,
@@ -49,34 +51,39 @@ def levenshtein_banded(a: StringLike, b: StringLike,
     if n == 0:
         return m if m <= k else None
     # Row i covers columns j in [i-k, i+k] clipped to [0, n].
-    add_work((2 * k + 1) * m + n + 1)
-    _M_CELLS.inc((2 * k + 1) * m + n + 1)
+    cells = (2 * k + 1) * m + n + 1
+    add_work(cells)
+    _M_CELLS.inc(cells)
     _M_CALLS.inc()
-    prev = np.full(n + 1, INF, dtype=np.int64)
-    hi0 = min(k, n)
-    prev[:hi0 + 1] = np.arange(hi0 + 1)
-    for i in range(1, m + 1):
-        lo = max(i - k, 0)
-        hi = min(i + k, n)
-        cur = np.full(n + 1, INF, dtype=np.int64)
-        if lo == 0:
-            cur[0] = i
-            start = 1
-        else:
-            start = lo
-        js = np.arange(start, hi + 1)
-        if len(js) > 0:
-            mismatch = (B[js - 1] != A[i - 1]).astype(np.int64)
-            t = np.minimum(prev[js - 1] + mismatch, prev[js] + 1)
-            # running minimum for the left (insert) dependency
-            u = t - js
-            if start > 0 and cur[start - 1] < INF:
-                u[0] = min(u[0], cur[start - 1] - (start - 1))
-            np.minimum.accumulate(u, out=u)
-            cur[js] = np.minimum(u + js, INF)
-        prev = cur
-    result = int(prev[n])
-    return result if result <= k else None
+    t0 = _PROBE.begin()
+    try:
+        prev = np.full(n + 1, INF, dtype=np.int64)
+        hi0 = min(k, n)
+        prev[:hi0 + 1] = np.arange(hi0 + 1)
+        for i in range(1, m + 1):
+            lo = max(i - k, 0)
+            hi = min(i + k, n)
+            cur = np.full(n + 1, INF, dtype=np.int64)
+            if lo == 0:
+                cur[0] = i
+                start = 1
+            else:
+                start = lo
+            js = np.arange(start, hi + 1)
+            if len(js) > 0:
+                mismatch = (B[js - 1] != A[i - 1]).astype(np.int64)
+                t = np.minimum(prev[js - 1] + mismatch, prev[js] + 1)
+                # running minimum for the left (insert) dependency
+                u = t - js
+                if start > 0 and cur[start - 1] < INF:
+                    u[0] = min(u[0], cur[start - 1] - (start - 1))
+                np.minimum.accumulate(u, out=u)
+                cur[js] = np.minimum(u + js, INF)
+            prev = cur
+        result = int(prev[n])
+        return result if result <= k else None
+    finally:
+        _PROBE.end(t0, cells)
 
 
 def levenshtein_doubling(a: StringLike, b: StringLike,

@@ -17,10 +17,17 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..metrics import get_registry
 from ..mpc.accounting import add_work
+from ..obs.profile import kernel_probe
 from .types import StringLike, as_array
 
 __all__ = ["myers_levenshtein", "myers_last_row", "myers_fitting_row"]
+
+_M_CELLS = get_registry().counter("strings.dp_cells", kernel="bitparallel")
+_M_CALLS = get_registry().counter("strings.kernel_calls",
+                                  kernel="bitparallel")
+_PROBE = kernel_probe("bitparallel")
 
 
 def _rows(a: StringLike, b: StringLike, global_carry: bool):
@@ -37,7 +44,11 @@ def _rows(a: StringLike, b: StringLike, global_carry: bool):
     if m == 0:
         out[:] = np.arange(n + 1) if global_carry else 0
         return out
-    add_work(max(n, 1) * (1 + m // 64))
+    cells = max(n, 1) * (1 + m // 64)
+    add_work(cells)
+    _M_CELLS.inc(cells)
+    _M_CALLS.inc()
+    t0 = _PROBE.begin()
 
     mask = (1 << m) - 1
     hibit = 1 << (m - 1)
@@ -65,6 +76,7 @@ def _rows(a: StringLike, b: StringLike, global_carry: bool):
         mh = (mh << 1) & mask
         pv = mh | (~(xv | ph) & mask)
         mv = ph & xv
+    _PROBE.end(t0, cells)
     return out
 
 
@@ -90,7 +102,11 @@ def myers_levenshtein(a: StringLike, b: StringLike) -> int:
     m, n = len(A), len(B)
     if m == 0 or n == 0:
         return m + n
-    add_work(n * (1 + m // 64))
+    cells = n * (1 + m // 64)
+    add_work(cells)
+    _M_CELLS.inc(cells)
+    _M_CALLS.inc()
+    t0 = _PROBE.begin()
 
     mask = (1 << m) - 1
     hibit = 1 << (m - 1)
@@ -115,4 +131,5 @@ def myers_levenshtein(a: StringLike, b: StringLike) -> int:
         mh = (mh << 1) & mask
         pv = mh | (~(xv | ph) & mask)
         mv = ph & xv
+    _PROBE.end(t0, cells)
     return score

@@ -15,11 +15,13 @@ import numpy as np
 
 from ..metrics import get_registry
 from ..mpc.accounting import add_work
+from ..obs.profile import kernel_probe
 from .types import StringLike, as_array
 
 __all__ = ["lis_length", "lis_indices", "longest_increasing_subsequence"]
 
 _M_CELLS = get_registry().counter("strings.dp_cells", kernel="lis")
+_PROBE = kernel_probe("lis")
 
 
 def lis_length(seq: StringLike, strict: bool = True) -> int:
@@ -30,8 +32,10 @@ def lis_length(seq: StringLike, strict: bool = True) -> int:
     """
     arr = as_array(seq)
     n = len(arr)
-    add_work(n * max(int(np.ceil(np.log2(n))), 1) if n else 1)
-    _M_CELLS.inc(n * max(int(np.ceil(np.log2(n))), 1) if n else 1)
+    cells = n * max(int(np.ceil(np.log2(n))), 1) if n else 1
+    add_work(cells)
+    _M_CELLS.inc(cells)
+    t0 = _PROBE.begin()
     find = bisect_left if strict else bisect_right
     tails: List[int] = []
     for v in arr.tolist():
@@ -40,6 +44,7 @@ def lis_length(seq: StringLike, strict: bool = True) -> int:
             tails.append(v)
         else:
             tails[pos] = v
+    _PROBE.end(t0, cells)
     return len(tails)
 
 
@@ -51,7 +56,9 @@ def lis_indices(seq: StringLike, strict: bool = True) -> List[int]:
     """
     arr = as_array(seq)
     n = len(arr)
-    add_work(n * max(int(np.ceil(np.log2(n))), 1) if n else 1)
+    cells = n * max(int(np.ceil(np.log2(n))), 1) if n else 1
+    add_work(cells)
+    t0 = _PROBE.begin()
     find = bisect_left if strict else bisect_right
     tails: List[int] = []          # tail values per pile
     tail_idx: List[int] = []       # index of that tail element
@@ -67,6 +74,7 @@ def lis_indices(seq: StringLike, strict: bool = True) -> List[int]:
             tail_idx[pos] = i
         parent[i] = tail_idx[pos - 1] if pos > 0 else -1
     if not tails:
+        _PROBE.end(t0, cells)
         return []
     out: List[int] = []
     i = tail_idx[-1]
@@ -74,6 +82,7 @@ def lis_indices(seq: StringLike, strict: bool = True) -> List[int]:
         out.append(i)
         i = parent[i]
     out.reverse()
+    _PROBE.end(t0, cells)
     return out
 
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..metrics import get_registry
 from ..mpc.accounting import add_work
+from ..obs.profile import kernel_probe
 from .edit_distance import levenshtein
 from .lcs import lcs_length_duplicate_free, position_map
 from .types import INF, StringLike, as_array
@@ -41,6 +42,7 @@ _M_CELLS_SPARSE = get_registry().counter("strings.dp_cells",
                                          kernel="ulam_sparse")
 _M_CALLS_SPARSE = get_registry().counter("strings.kernel_calls",
                                          kernel="ulam_sparse")
+_PROBE_SPARSE = kernel_probe("ulam_sparse")
 
 #: Below this many match points the chain DP runs on plain Python lists,
 #: which beat NumPy's per-call overhead on tiny arrays.
@@ -141,9 +143,20 @@ def ulam_from_matches(i_pts: np.ndarray, p_pts: np.ndarray, m: int, n: int,
         keep = np.abs(i_pts - p_pts) <= band
         i_pts, p_pts = i_pts[keep], p_pts[keep]
     c = len(i_pts)
-    add_work(c * c + 1)
-    _M_CELLS_SPARSE.inc(c * c + 1)
+    cells = c * c + 1
+    add_work(cells)
+    _M_CELLS_SPARSE.inc(cells)
     _M_CALLS_SPARSE.inc()
+    t0 = _PROBE_SPARSE.begin()
+    try:
+        return _ulam_chain_dp(i_pts, p_pts, m, n, c)
+    finally:
+        _PROBE_SPARSE.end(t0, cells)
+
+
+def _ulam_chain_dp(i_pts: np.ndarray, p_pts: np.ndarray, m: int, n: int,
+                   c: int) -> int:
+    """The metered body of :func:`ulam_from_matches` (probe-bracketed)."""
     best = max(m, n)  # empty chain: substitute everything
     if c == 0:
         return best
@@ -221,34 +234,39 @@ def local_ulam_from_matches(i_pts: np.ndarray, p_pts: np.ndarray,
     ``i_pts`` must be strictly increasing (sorted by pattern index).
     """
     c = len(i_pts)
-    add_work(c * c + 1)
-    _M_CELLS_SPARSE.inc(c * c + 1)
+    cells = c * c + 1
+    add_work(cells)
+    _M_CELLS_SPARSE.inc(cells)
     if c == 0:
         return 0, 0, m
-    D = np.empty(c, dtype=np.int64)
-    parent = np.full(c, -1, dtype=np.int64)
-    for j in range(c):
-        D[j] = i_pts[j]
-        if j > 0:
-            di = i_pts[j] - i_pts[:j] - 1
-            dp = p_pts[j] - p_pts[:j] - 1
-            cand = D[:j] + np.maximum(di, np.where(dp < 0, INF, dp))
-            k = int(cand.argmin())
-            if int(cand[k]) < int(D[j]):
-                D[j] = int(cand[k])
-                parent[j] = k
-    totals = D + (m - 1 - i_pts)
-    j_best = int(totals.argmin())
-    dist = int(totals[j_best])
-    if dist >= m:
-        return 0, 0, m
-    # Walk back to the first match of the optimal chain.
-    j = j_best
-    while parent[j] != -1:
-        j = int(parent[j])
-    gamma = int(p_pts[j])
-    kappa = int(p_pts[j_best]) + 1
-    return gamma, kappa, dist
+    t0 = _PROBE_SPARSE.begin()
+    try:
+        D = np.empty(c, dtype=np.int64)
+        parent = np.full(c, -1, dtype=np.int64)
+        for j in range(c):
+            D[j] = i_pts[j]
+            if j > 0:
+                di = i_pts[j] - i_pts[:j] - 1
+                dp = p_pts[j] - p_pts[:j] - 1
+                cand = D[:j] + np.maximum(di, np.where(dp < 0, INF, dp))
+                k = int(cand.argmin())
+                if int(cand[k]) < int(D[j]):
+                    D[j] = int(cand[k])
+                    parent[j] = k
+        totals = D + (m - 1 - i_pts)
+        j_best = int(totals.argmin())
+        dist = int(totals[j_best])
+        if dist >= m:
+            return 0, 0, m
+        # Walk back to the first match of the optimal chain.
+        j = j_best
+        while parent[j] != -1:
+            j = int(parent[j])
+        gamma = int(p_pts[j])
+        kappa = int(p_pts[j_best]) + 1
+        return gamma, kappa, dist
+    finally:
+        _PROBE_SPARSE.end(t0, cells)
 
 
 def local_ulam(pattern: StringLike, text: StringLike

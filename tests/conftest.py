@@ -21,14 +21,23 @@ def _metrics_isolation():
     into) another test's counters.
     """
     from repro.metrics import get_registry
+    from repro.obs import profile
     reg = get_registry()
     was_enabled = reg.enabled
+    profiling_was_on = profile.profiling_enabled()
     yield
     if was_enabled:
         reg.enable()
     else:
         reg.disable()
     reg.reset()
+    # The kernel profiler follows the same discipline: CLI commands
+    # enable it process-wide, so restore and clear its global aggregate.
+    if profiling_was_on:
+        profile.enable()
+    else:
+        profile.disable()
+    profile.reset_global_profile()
 
 
 def pytest_configure(config):

@@ -109,6 +109,32 @@ def test_checker_flags_metrics_mutation_in_benchmarks(tmp_path):
     assert "bench_rogue.py:1" in proc.stdout
 
 
+def test_checker_flags_kernel_probe_outside_repro(tmp_path):
+    bad = tmp_path / "examples"
+    bad.mkdir(parents=True)
+    (bad / "rogue_probe.py").write_text(
+        "from repro.obs.profile import kernel_probe\n"
+        "_P = kernel_probe('sneaky')\n")
+    proc = _check(tmp_path)
+    assert proc.returncode == 1
+    assert "rogue_probe.py:2" in proc.stdout
+    assert "kernel-probe" in proc.stdout
+    assert "profile_rows" in proc.stdout         # the fix hint
+
+
+def test_checker_allows_kernel_probe_in_repro_and_own_tests(tmp_path):
+    src = tmp_path / "src" / "repro" / "strings"
+    src.mkdir(parents=True)
+    (src / "banded.py").write_text(
+        "_PROBE = kernel_probe('banded')\n")
+    tests = tmp_path / "tests"
+    tests.mkdir()
+    (tests / "test_obs_profile.py").write_text(
+        "probe = kernel_probe('demo')\n")
+    proc = _check(tmp_path)
+    assert proc.returncode == 0, proc.stdout
+
+
 def test_checker_flags_raw_shared_memory_outside_mpc(tmp_path):
     bad = tmp_path / "src" / "repro" / "ulam"
     bad.mkdir(parents=True)

@@ -236,7 +236,13 @@ class TestTelemetryCommands:
         doc = json.loads(chrome.read_text())
         assert doc["traceEvents"]
         for ev in doc["traceEvents"]:
-            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(ev)
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(ev)
+            if ev["ph"] == "X":
+                assert "dur" in ev
+        # CLI runs profile by default, so the machine spans carry
+        # kernel attribution and feed the dp_cells counter track.
+        assert any(ev["ph"] == "C" and ev["name"] == "kernel dp_cells"
+                   for ev in doc["traceEvents"])
 
     def test_trace_subcommand_rejects_empty_trace(self, tmp_path):
         path = tmp_path / "empty.jsonl"
@@ -366,6 +372,29 @@ class TestRegistryCommands:
     def test_history_empty(self, tmp_path, capsys):
         assert main(["history", "--history",
                      str(tmp_path / "nope.jsonl")]) == 0
+        assert "no run history" in capsys.readouterr().out
+
+    def test_history_since_filters_by_timestamp(self, tmp_path, capsys):
+        hist = tmp_path / "hist.jsonl"
+        assert main(["ulam", "--n", "128", "--budget", "4",
+                     "--history", str(hist)]) == 0
+        # Age one record a year into the past; keep the other current.
+        records = [json.loads(line)
+                   for line in hist.read_text().splitlines()]
+        old = dict(records[0])
+        old["timestamp"] = "2020-01-01T00:00:00Z"
+        hist.write_text("\n".join(
+            json.dumps(r, sort_keys=True) for r in [old] + records) + "\n")
+        capsys.readouterr()
+        assert main(["history", "--history", str(hist)]) == 0
+        assert "2 run(s)" in capsys.readouterr().out
+        assert main(["history", "--history", str(hist),
+                     "--since", "2021", "--json"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+        assert json.loads(out[0])["timestamp"] != "2020-01-01T00:00:00Z"
+        assert main(["history", "--history", str(hist),
+                     "--since", "2999"]) == 0
         assert "no run history" in capsys.readouterr().out
 
     def _baseline_from_run(self, tmp_path, capsys, doctor=None):

@@ -24,7 +24,8 @@ def _full_round():
                       shuffle_words=17, shuffle_work=19, attempts=4,
                       retried_machines=2, dropped_machines=1,
                       failed_attempts=6, wasted_work=55,
-                      wasted_wall_seconds=0.0625)
+                      wasted_wall_seconds=0.0625,
+                      kernel_profile={"banded": [5, 250, 0.5, 2, 0.375, 1]})
 
 
 class TestSchema:

@@ -178,6 +178,45 @@ class TestChromeTraceGrouping:
         assert events[0]["pid"] == 4242
         assert events[0]["tid"] == 3
 
+    def test_span_args_carry_ledger_and_profile(self, tmp_path):
+        spans = [
+            Span(kind="machine", name="r", machine=0, start=0.0, end=1.0,
+                 work=11, input_words=3, output_words=2,
+                 profile={"lis": [2, 40, 0.5]}),
+            Span(kind="machine", name="r", machine=1, start=0.5, end=2.0,
+                 work=7, wasted=True),
+        ]
+        out = tmp_path / "trace.json"
+        export_chrome_trace(spans, out)
+        events = json.loads(out.read_text())["traceEvents"]
+        slices = [e for e in events if e.get("ph") == "X"]
+        profiled = next(e for e in slices if e["tid"] == 0)
+        assert profiled["args"]["work"] == 11
+        assert profiled["args"]["input_words"] == 3
+        assert profiled["args"]["output_words"] == 2
+        assert profiled["args"]["profile"] == {"lis": [2, 40, 0.5]}
+        wasted = next(e for e in slices if e["tid"] == 1)
+        assert wasted["args"]["wasted"] is True
+        assert "profile" not in wasted["args"]  # empty stays absent
+
+    def test_profiled_spans_emit_dp_cells_counter_track(self, tmp_path):
+        spans = [
+            Span(kind="machine", name="r1", machine=0, start=0.0,
+                 end=1.0, profile={"lis": [1, 40, 0.5]}),
+            Span(kind="machine", name="r2", machine=0, start=1.0,
+                 end=2.0, profile={"lis": [1, 10, 0.1],
+                                   "banded": [1, 5, 0.1]}),
+        ]
+        out = tmp_path / "trace.json"
+        export_chrome_trace(spans, out)
+        events = json.loads(out.read_text())["traceEvents"]
+        counters = [e for e in events if e.get("ph") == "C"]
+        assert [e["name"] for e in counters] == ["kernel dp_cells"] * 2
+        # Cumulative per-kernel cells, sampled at each profiled span end.
+        assert counters[0]["args"] == {"lis": 40}
+        assert counters[1]["args"] == {"lis": 50, "banded": 5}
+        assert counters[0]["ts"] < counters[1]["ts"]
+
 
 class TestExporter:
     def test_endpoints_answer_on_live_service(self):
@@ -224,6 +263,83 @@ class TestExporter:
         assert json.loads(body)["ready"] is True
 
         assert grabbed["/nope"][0] == 404
+
+    def test_concurrent_scrapes_stay_consistent_with_queries_in_flight(
+            self):
+        """Satellite (c): hammer /metrics and /profile from several
+        threads while queries run — no torn Prometheus exposition, every
+        /profile snapshot is coherent JSON, and the final per-query
+        attribution is consistent with the registry's kernel counters."""
+        import re
+        from repro.obs.profile import (enable as enable_profiling,
+                                       reset_global_profile)
+        enable()
+        enable_profiling()
+        reset_global_profile()
+        sample_re = re.compile(
+            r"^[A-Za-z_:][A-Za-z0-9_:]*(?:\{[^{}]*\})? -?[0-9.einf+]+$")
+        obs = ObservabilityServer(port=0).start()
+        scraped = {"metrics": [], "profiles": [], "errors": []}
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    m_code, m_body = _http_get(obs.url + "/metrics")
+                    p_code, p_body = _http_get(obs.url + "/profile")
+                except OSError as exc:  # pragma: no cover - fail loud
+                    scraped["errors"].append(repr(exc))
+                    return
+                if m_code == 200:
+                    scraped["metrics"].append(m_body)
+                if p_code == 200:
+                    scraped["profiles"].append(p_body)
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            outcomes, _ = run_workload(_mixed_queries(6), observer=obs,
+                                       check_guarantees=False)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        final = json.loads(_http_get(obs.url + "/profile")[1])
+        registry_text = _http_get(obs.url + "/metrics")[1]
+        obs.stop()
+
+        assert not scraped["errors"], scraped["errors"]
+        assert len(outcomes) == 6
+        assert scraped["metrics"] and scraped["profiles"]
+        # No torn exposition: every sample line parses in isolation.
+        for body in scraped["metrics"]:
+            for line in body.splitlines():
+                if line and not line.startswith("#"):
+                    assert sample_re.match(line), f"torn line: {line!r}"
+        # Every mid-flight /profile snapshot is a coherent document.
+        for body in scraped["profiles"]:
+            snap = json.loads(body)
+            assert snap["enabled"] is True
+            for prof in [snap["kernels"], *snap["queries"].values()]:
+                for rec in prof.values():
+                    assert set(rec) == {"calls", "cells", "seconds"}
+                    assert rec["calls"] >= 1
+
+        # The final aggregate attributes every query and never claims
+        # more dp_cells than the registry counted for the same kernel
+        # (driver-side kernel calls tick the counter only).
+        assert len(final["queries"]) == 6
+        assert final["kernels"]["ulam_sparse"]["cells"] > 0
+        for kernel, rec in final["kernels"].items():
+            needle = f'kernel="{kernel}"'
+            counted = sum(
+                float(line.rsplit(" ", 1)[1])
+                for line in registry_text.splitlines()
+                if line.startswith("repro_strings_dp_cells_total")
+                and needle in line)
+            if counted:
+                assert rec["cells"] <= counted + 1e-9, kernel
 
     def test_unbound_exporter_serves_registry_only(self):
         with ObservabilityServer(port=0) as obs:

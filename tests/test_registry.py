@@ -5,10 +5,11 @@ import json
 import pytest
 
 from repro.registry import (GATED_METRICS, REGRESSION_TOLERANCE,
-                            append_record, compare_records, format_comparison,
-                            format_record, git_sha, load_baseline,
-                            make_record, match_baseline, read_history,
-                            record_key, utc_timestamp)
+                            append_record, compare_records, filter_since,
+                            format_comparison, format_record, git_sha,
+                            load_baseline, make_record, match_baseline,
+                            read_history, record_key, record_profile,
+                            utc_timestamp)
 
 
 def _record(command="ulam", n=256, x=0.4, eps=0.5, seed=0, budget=8,
@@ -130,6 +131,45 @@ class TestHistoryIO:
         assert len(records) == n_writers * per_writer
         seeds = {r["params"]["seed"] for r in records}
         assert len(seeds) == n_writers * per_writer
+
+
+class TestFilterSince:
+    def _stamped(self, timestamp):
+        rec = _record()
+        rec["timestamp"] = timestamp
+        return rec
+
+    def test_cutoff_is_inclusive_and_chronological(self):
+        records = [self._stamped("2026-07-31T23:59:59Z"),
+                   self._stamped("2026-08-01T00:00:00Z"),
+                   self._stamped("2026-08-02T12:00:00Z")]
+        kept = filter_since(records, "2026-08-01T00:00:00Z")
+        assert [r["timestamp"] for r in kept] \
+            == ["2026-08-01T00:00:00Z", "2026-08-02T12:00:00Z"]
+
+    def test_prefix_works_as_month_filter(self):
+        records = [self._stamped("2026-07-15T08:00:00Z"),
+                   self._stamped("2026-08-15T08:00:00Z")]
+        assert len(filter_since(records, "2026-08")) == 1
+
+    def test_unstamped_records_excluded(self):
+        rec = _record()
+        del rec["timestamp"]
+        assert filter_since([rec], "2020") == []
+
+
+class TestRecordProfile:
+    def test_reads_summary_profile_rows(self):
+        rows = [{"round": "r", "kernel": "lis", "calls": 1,
+                 "cells": 10, "seconds": 0.5}]
+        rec = _record()
+        rec["summary"]["profile"] = rows
+        assert record_profile(rec) == rows
+
+    def test_tolerates_records_predating_the_profiler(self):
+        assert record_profile(_record()) == []
+        assert record_profile({}) == []
+        assert record_profile({"summary": "corrupt"}) == []
 
 
 class TestBaselines:

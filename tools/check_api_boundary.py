@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Enforce the MPC-layer API boundaries (stdlib only, CI-friendly).
 
-Seven rules:
+Eight rules:
 
 * Algorithm drivers must submit rounds through :mod:`repro.mpc.plan`
   (``Pipeline``/``RoundSpec``/``run_plan``) so that shuffle volume and
@@ -18,6 +18,12 @@ Seven rules:
   Tests, examples and benchmarks consume snapshots read-only
   (``get_registry().snapshot()`` / ``RunStats.metrics``); the
   registry's own unit tests are the single sanctioned exception.
+* Kernel-probe creation (``kernel_probe``/``KernelProbe``) is likewise
+  internal to ``src/repro/``: wall-clock attribution rides the
+  instrumented kernels' own choke points, and everything outside
+  consumes profiles read-only (``RunStats.profile_rows``,
+  ``repro.obs.profile.global_profile``, ``collect_profile``); the
+  profiler's own unit tests are the single sanctioned exception.
 * Raw ``multiprocessing.shared_memory`` is an internal privilege of
   ``src/repro/mpc/`` (the data plane owns segment lifecycle and
   refcounting).  Everything else publishes through
@@ -90,6 +96,20 @@ RULES = {
         "Metrics mutation is internal to src/repro/; consume snapshots "
         "read-only via get_registry().snapshot() or RunStats.metrics "
         "(tests/test_metrics.py is the sanctioned exception).",
+    ),
+    "kernel-probe": (
+        re.compile(r"\b(?:kernel_probe|KernelProbe)\s*\("),
+        ("src", "benchmarks", "tests", "examples"),
+        # test_obs_profile.py exercises the probes themselves;
+        # test_api_boundary.py holds offending lines as string fixtures.
+        ("src/repro/", "tests/test_obs_profile.py",
+         "tests/test_api_boundary.py"),
+        "kernel-probe creation outside src/repro/",
+        "Wall-clock attribution is internal to the instrumented "
+        "kernels: consume profiles read-only via "
+        "RunStats.profile_rows, repro.obs.profile.global_profile or "
+        "collect_profile (tests/test_obs_profile.py is the sanctioned "
+        "exception).",
     ),
     "shared-memory": (
         re.compile(r"\bshared_memory\b|\bSharedMemory\s*\("),
@@ -209,9 +229,10 @@ def main(argv):
             print(hint)
         return 1
     print("API boundary clean: no direct run_round calls, sink "
-          "constructions, metrics mutation, raw shared_memory use, "
-          "driver imports, pool/data-plane construction, or HTTP "
-          "server construction outside their sanctioned modules")
+          "constructions, metrics mutation, kernel-probe creation, "
+          "raw shared_memory use, driver imports, pool/data-plane "
+          "construction, or HTTP server construction outside their "
+          "sanctioned modules")
     return 0
 
 

@@ -15,6 +15,12 @@ Abstract work and word counts are deterministic for a fixed seed, so
 this is a *logic* gate, not a wall-clock benchmark — it runs in
 seconds and is immune to CI machine noise.
 
+When a comparison regresses and both records carry kernel profiles
+(``summary.profile``), the gate also prints the top kernels by
+wall-clock delta — the failure names *which kernel* is responsible,
+not just which metric moved (see ``repro profdiff`` for the manual
+version of the same attribution).
+
 Usage::
 
     python tools/check_regression.py                    # replay + gate
@@ -38,8 +44,26 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.obs.profile import (diff_profiles, format_profile_diff,  # noqa: E402
+                               totals_from_record)
 from repro.registry import (REGRESSION_TOLERANCE, compare_records,  # noqa: E402
                             format_comparison, load_baseline, record_key)
+
+
+def kernel_attribution(base: dict, fresh: dict, top: int = 3) -> str:
+    """Name the kernels responsible for a regression: top wall-clock
+    deltas between the two records' kernel profiles.  Best-effort —
+    returns ``""`` when either record predates the profiler."""
+    a = totals_from_record(base)
+    b = totals_from_record(fresh)
+    if not a or not b:
+        return ""
+    rows = diff_profiles(a, b, by="seconds")
+    if not rows:
+        return ""
+    return (f"  responsible kernels (top {min(top, len(rows))} "
+            f"wall-clock deltas, hottest first):\n"
+            + format_profile_diff(rows, by="seconds", top=top))
 
 
 def run_config(record: dict) -> dict:
@@ -135,6 +159,10 @@ def main(argv=None) -> int:
         failed = failed or regressed
         print(f"{label}: " + ("REGRESSED" if regressed else "ok"))
         print(format_comparison(comparison))
+        if regressed:
+            attribution = kernel_attribution(base, fresh)
+            if attribution:
+                print(attribution)
 
     if not kept:
         print("no configuration was compared", file=sys.stderr)
