@@ -141,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--comm", action="store_true",
                        help="also print the per-round communication "
                             "ledger (shuffle/broadcast words)")
+        native_opts(p)
+
+    def native_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--no-native", action="store_true",
+                       help="force the pure-python kernel backend "
+                            "(disables compiled/batched DP kernels; "
+                            "distances and ledgers are identical either "
+                            "way, only wall-clock changes)")
 
     def telemetry_opts(p: argparse.ArgumentParser) -> None:
         p.add_argument("--trace", type=str, default=None, metavar="PATH",
@@ -310,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "faults) and exit 1 when any error budget "
                          "burns above 1x")
     data_plane_opts(sv)
+    native_opts(sv)
     telemetry_opts(sv)
     registry_opts(sv)
 
@@ -331,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="root seed; query i runs with seed+i")
     sb.add_argument("--queries", type=int, default=8,
                     help="number of concurrent queries (default 8)")
+    native_opts(sb)
     registry_opts(sb)
 
     from .registry import DEFAULT_HISTORY_PATH
@@ -386,6 +396,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="flamegraph frame weight (default seconds)")
     pf.add_argument("--top", type=int, default=0, metavar="N",
                     help="show only the N hottest kernels (default all)")
+    pf.add_argument("--per-call", action="store_true",
+                    help="add per-call columns (seconds/call, "
+                         "cells/call) — the batched-dispatch win shows "
+                         "up here, not in call counts")
     pf.add_argument("--json", action="store_true",
                     help="print the profile rows as JSON")
 
@@ -404,6 +418,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="ranking column (default seconds)")
     pd.add_argument("--top", type=int, default=0, metavar="N",
                     help="show only the N largest deltas (default all)")
+    pd.add_argument("--per-call", action="store_true",
+                    help="add A/call and B/call columns for the ranking "
+                         "metric (per-call cost of each kernel on both "
+                         "sides)")
     pd.add_argument("--json", action="store_true",
                     help="print the diff rows as JSON")
 
@@ -551,6 +569,8 @@ def _print_result(title: str, answer: int, exact: Optional[int],
     if profile_rows:
         data["profiled_kernels"] = ",".join(
             sorted({str(row["kernel"]) for row in profile_rows}))
+    from .strings.native import kernel_backend
+    data["kernel_backend"] = kernel_backend()
     print(format_kv(title, data))
     if show_comm:
         from .analysis import format_communication
@@ -614,6 +634,9 @@ def _finish_run(args, command: str, engine, eres, s, t,
     params = {"n": len(s), "x": eres.params.get("x"),
               "eps": eres.params.get("eps"),
               "seed": args.seed, "budget": _effective_budget(args)}
+    from .strings.native import kernel_backend
+    extra = dict(extra or {})
+    extra.setdefault("kernel_backend", kernel_backend())
     record = make_record(
         command, params, summary,
         guarantees=report.to_dict() if report is not None else None,
@@ -778,6 +801,8 @@ def _cmd_top(args) -> int:
                 if 'engine="' in key:
                     engine = key.split('engine="', 1)[1].split('"')[0]
                 view[f"queries[{engine}]"] = int(value)
+        if prof.get("backend"):
+            view["kernel_backend"] = prof["backend"]
         kernels = prof.get("kernels") or {}
         if kernels:
             from .obs.profile import hot_kernels
@@ -850,17 +875,26 @@ def _profile_totals(kind: str, payload):
             else totals_from_record(payload))
 
 
-def _format_profile_totals(totals: dict, top: int = 0) -> str:
+def _format_profile_totals(totals: dict, top: int = 0,
+                           per_call: bool = False) -> str:
     """Per-kernel totals table, hottest wall-clock first."""
-    from .obs.profile import hot_kernels
+    from .obs.profile import _per_call, hot_kernels
     ranked = hot_kernels(totals, by="seconds", top=top or len(totals))
-    lines = [f"  {'kernel':<14} {'calls':>10} {'cells':>14} "
-             f"{'seconds':>10} {'share':>7}"]
+    header = (f"  {'kernel':<14} {'calls':>10} {'cells':>14} "
+              f"{'seconds':>10} {'share':>7}")
+    if per_call:
+        header += f" {'s/call':>10} {'cells/call':>12}"
+    lines = [header]
     for kernel, seconds, share in ranked:
         t = totals[kernel]
-        lines.append(f"  {kernel:<14} {int(t['calls']):>10} "
-                     f"{int(t['cells']):>14} {seconds:>10.4f} "
-                     f"{share:>7.1%}")
+        line = (f"  {kernel:<14} {int(t['calls']):>10} "
+                f"{int(t['cells']):>14} {seconds:>10.4f} "
+                f"{share:>7.1%}")
+        if per_call:
+            calls = t["calls"]
+            line += (f" {_per_call(seconds, calls, 'seconds'):>10}"
+                     f" {_per_call(t['cells'], calls, 'cells'):>12}")
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -886,7 +920,8 @@ def _cmd_profile(args) -> int:
                  f"({'span trace' if kind == 'spans' else 'run record'})")
         print(title)
         print("-" * len(title))
-        print(_format_profile_totals(totals, top=args.top))
+        print(_format_profile_totals(totals, top=args.top,
+                                     per_call=args.per_call))
     if args.flame is not None:
         lines = (flame_from_spans(payload, weight=args.weight)
                  if kind == "spans"
@@ -924,7 +959,8 @@ def _cmd_profdiff(args) -> int:
     title = f"Kernel profile diff — A={args.a}  B={args.b}  (by {args.by})"
     print(title)
     print("-" * len(title))
-    print(format_profile_diff(rows, by=args.by, top=args.top))
+    print(format_profile_diff(rows, by=args.by, top=args.top,
+                              per_call=args.per_call))
     if rows and rows[0][f"delta_{args.by}"] > 0:
         top_row = rows[0]
         change = top_row.get("change")
@@ -989,6 +1025,10 @@ def _generate_kind(distance: str) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if getattr(args, "no_native", False):
+        from .strings.native import set_backend
+        set_backend("pure")
 
     if args.command == "table1":
         from .baselines.theory import table1_rows
@@ -1062,6 +1102,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return code
 
     if args.command == "engines":
+        from .strings.native import kernel_backend, numba_available
         engines = all_engines()
         if args.distance:
             engines = [e for e in engines
@@ -1079,6 +1120,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                      "work_exponent": c.cost.work_exponent,
                      "default_x": c.default_x,
                      "default_eps": c.default_eps,
+                     "kernel_backend": kernel_backend(),
                      "primary": c.primary}, sort_keys=True))
             return 0
         rows = []
@@ -1093,6 +1135,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_table(
             ["engine", "distances", "guarantee", "model", "regime",
              "cost", "paper"], rows))
+        print(f"\nkernel backend: {kernel_backend()} "
+              f"(numba {'available' if numba_available() else 'absent'};"
+              " force pure with --no-native or REPRO_NO_NATIVE=1)")
         return 0
 
     if args.command == "chaos":
@@ -1192,8 +1237,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     engine=o.engine)
                 append_record(args.history, record)
         if args.json:
+            from .strings.native import kernel_backend
             extra = {"queries": args.queries, "algo": args.algo,
-                     "workers": args.workers}
+                     "workers": args.workers,
+                     "kernel_backend": kernel_backend()}
             if slo_reports is not None:
                 extra["slo"] = slo_reports
             batch = make_record(
@@ -1264,12 +1311,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # (tools/check_slo.py) needs to rebuild one sample per query:
         # the deterministic ledger facts plus the clock-derived latency
         # and the trace id joining the row back to spans and history.
+        from .strings.native import kernel_backend
         record = make_record(
             "serve-bench",
             {"n": args.n, "x": args.x, "eps": args.eps,
              "seed": args.seed, "budget": budget},
             summary, guarantees=guarantees,
             extra={"queries": args.queries,
+                   "kernel_backend": kernel_backend(),
                    "per_query": [
                        {"query_id": o.query_id, "algo": o.algo,
                         "engine": o.engine,

@@ -39,7 +39,9 @@ from ..mpc.shm import DataPlane
 from ..mpc.simulator import MPCSimulator
 from ..params import EditParams
 from ..strings.approx import make_inner
+from ..strings.banded import levenshtein_doubling_batch
 from ..strings.edit_distance import levenshtein_last_row
+from ..strings.native import kernel_backend
 from .combine import EditTuple, run_edit_combine_machine
 from .config import EditConfig
 from .graph import NodeId, RepDistances, build_candidate_nodes, node_string
@@ -73,6 +75,69 @@ def group_candidates_by_start(cs_nodes: Sequence[NodeId]
     return [(st, sorted(ens)) for st, ens in sorted(groups.items())]
 
 
+def _solver_pair_distances(pairs: List[Tuple[np.ndarray, np.ndarray]],
+                           solver_kind: str, eps_inner: float) -> List[int]:
+    """Inner-solver distances for explicit (string, window) pairs.
+
+    The ``banded`` solver under a native backend batches all cache
+    misses into one :func:`levenshtein_doubling_batch` call; other
+    solvers (and the ``pure`` backend) evaluate per pair exactly as
+    before.  Intra-batch duplicate content keys resolve as one miss
+    plus :meth:`DistanceCache.hit` repeats, keeping cache counters and
+    kernel work byte-identical to the per-call path.
+    """
+    solver = make_inner(solver_kind, eps_inner)
+    cache = distance_cache()
+    if solver_kind != "banded" or kernel_backend() == "pure" \
+            or len(pairs) <= 1:
+        out = []
+        for a, b in pairs:
+            if cache is None:
+                out.append(int(solver(a, b)))
+                continue
+            key = pair_key("ed-pair", a, b, solver_kind, eps_inner)
+            d = cache.lookup(key)
+            if d is None:
+                d = int(solver(a, b))
+                cache.store(key, d)
+            out.append(int(d))
+        return out
+    dists = [0] * len(pairs)
+    jobs: List[Tuple[np.ndarray, np.ndarray]] = []
+    targets: List[List[int]] = []  # pair indices each job resolves
+    job_keys: List[object] = []
+    if cache is None:
+        for idx, (a, b) in enumerate(pairs):
+            jobs.append((a, b))
+            targets.append([idx])
+            job_keys.append(None)
+    else:
+        pending: Dict[object, List[int]] = {}
+        for idx, (a, b) in enumerate(pairs):
+            key = pair_key("ed-pair", a, b, solver_kind, eps_inner)
+            slot = pending.get(key)
+            if slot is not None:
+                cache.hit()      # would have hit the per-call cache
+                slot.append(idx)
+                continue
+            d = cache.lookup(key)
+            if d is not None:
+                dists[idx] = int(d)
+                continue
+            pending[key] = tgt = [idx]
+            jobs.append((a, b))
+            targets.append(tgt)
+            job_keys.append(key)
+    if jobs:
+        vals = levenshtein_doubling_batch(jobs)
+        for val, tgt, key in zip(vals, targets, job_keys):
+            for idx in tgt:
+                dists[idx] = int(val)
+            if key is not None:
+                cache.store(key, int(val))
+    return dists
+
+
 def run_rep_distance_machine(payload: Dict[str, object]) -> np.ndarray:
     """Algorithm 5: distances from a representative chunk to a node chunk.
 
@@ -85,25 +150,22 @@ def run_rep_distance_machine(payload: Dict[str, object]) -> np.ndarray:
     """
     solver_kind = str(payload["solver"])
     eps_inner = float(payload["eps_inner"])
-    solver = make_inner(solver_kind, eps_inner)
     reps: List[Tuple[int, np.ndarray]] = payload["reps"]       # type: ignore
     blocks: List[Tuple[NodeId, np.ndarray]] = payload["blocks"]  # type: ignore
     groups: List[Tuple[int, np.ndarray, List[int]]] = \
         payload["cs_groups"]                                   # type: ignore
-    cache = distance_cache()
+    # All (rep, block) pairs batch as one native dispatch (rep-major
+    # order, matching the output layout); the start-grouped candidate
+    # slices keep their shared-last-row evaluation, which is already one
+    # kernel call per group.
+    pair_dists = _solver_pair_distances(
+        [(rep_arr, node_arr) for _, rep_arr in reps
+         for _, node_arr in blocks], solver_kind, eps_inner)
     out: List[int] = []
+    k = 0
     for rep_idx, rep_arr in reps:
-        for node_id, node_arr in blocks:
-            if cache is None:
-                d = int(solver(rep_arr, node_arr))
-            else:
-                key = pair_key("ed-pair", rep_arr, node_arr,
-                               solver_kind, eps_inner)
-                d = cache.lookup(key)
-                if d is None:
-                    d = int(solver(rep_arr, node_arr))
-                    cache.store(key, d)
-            out.append(d)
+        out.extend(pair_dists[k:k + len(blocks)])
+        k += len(blocks)
         for st, seg, ens in groups:
             row = levenshtein_last_row(rep_arr, seg)
             for en in ens:
@@ -135,20 +197,10 @@ def run_pair_distance_machine(payload: Dict[str, object]) -> np.ndarray:
     """
     solver_kind = str(payload["solver"])
     eps_inner = float(payload["eps_inner"])
-    solver = make_inner(solver_kind, eps_inner)
-    cache = distance_cache()
-    out: List[int] = []
-    for lo, hi, block_arr, st, en, win_arr in payload["items"]:  # type: ignore
-        if cache is None:
-            d = int(solver(block_arr, win_arr))
-        else:
-            key = pair_key("ed-pair", block_arr, win_arr,
-                           solver_kind, eps_inner)
-            d = cache.lookup(key)
-            if d is None:
-                d = int(solver(block_arr, win_arr))
-                cache.store(key, d)
-        out.append(d)
+    out = _solver_pair_distances(
+        [(block_arr, win_arr)
+         for _, _, block_arr, _, _, win_arr in payload["items"]],  # type: ignore
+        solver_kind, eps_inner)
     return np.asarray(out, dtype=np.int64)
 
 

@@ -119,6 +119,33 @@ class KernelProbe:
                 rec[1] += cells
                 rec[2] += dt
 
+    def end_batch(self, t0: float, calls: int, cells: int) -> None:
+        """Charge *calls* logical calls totalling *cells* DP cells to
+        one timing window ending now.
+
+        Batched kernel dispatch evaluates many logical calls inside one
+        native invocation; folding the batch as ``calls`` calls keeps
+        profile call/cell counts byte-identical to the per-call path —
+        only the seconds column reflects the batching win.
+        """
+        if t0 < 0.0:
+            return
+        if _DELAYS:
+            extra = _DELAYS.get(self.kernel, 0.0)
+            if extra > 0.0:
+                # One injected delay per logical call, as the per-call
+                # path would have observed.
+                time.sleep(extra * calls)
+        dt = time.perf_counter() - t0
+        for data in _accumulators():
+            rec = data.get(self.kernel)
+            if rec is None:
+                data[self.kernel] = [calls, cells, dt]
+            else:
+                rec[0] += calls
+                rec[1] += cells
+                rec[2] += dt
+
 
 def kernel_probe(kernel: str) -> KernelProbe:
     """A probe handle for *kernel* (module-level, like metric handles)."""
@@ -268,7 +295,15 @@ class _GlobalProfile:
                                "seconds": round(v[2], 6)}
                            for k, v in prof.items()}
                        for q, prof in self.queries.items()}
-        return {"enabled": _ENABLED, "kernels": kernels, "queries": queries}
+        # Lazy import: the strings kernels import this module at load
+        # time, so the backend lookup must not run until requested.
+        try:
+            from ..strings.native import kernel_backend
+            backend = kernel_backend()
+        except Exception:  # pragma: no cover - defensive
+            backend = "unknown"
+        return {"enabled": _ENABLED, "backend": backend,
+                "kernels": kernels, "queries": queries}
 
     def reset(self) -> None:
         with self._lock:
@@ -372,12 +407,30 @@ def diff_profiles(a: Mapping[str, Mapping[str, float]],
     return rows
 
 
+def _per_call(value: float, calls: float, by: str) -> str:
+    """``value/calls`` formatted for the *by* metric ("-" when no calls)."""
+    if not calls:
+        return "-"
+    if by == "seconds":
+        return f"{value / calls * 1e6:.1f}us"
+    return f"{value / calls:.1f}"
+
+
 def format_profile_diff(rows: Sequence[Mapping[str, object]],
-                        by: str = "seconds", top: int = 0) -> str:
-    """Readable table for ``repro profdiff`` and the regression gate."""
+                        by: str = "seconds", top: int = 0,
+                        per_call: bool = False) -> str:
+    """Readable table for ``repro profdiff`` and the regression gate.
+
+    With *per_call*, two extra columns show the A and B sides of
+    ``by``-per-call — the direct view of batch-dispatch wins, where
+    total calls stay identical but the cost of each collapses.
+    """
     shown = rows[:top] if top else rows
-    lines = [f"  {'kernel':<14} {'A ' + by:>14} {'B ' + by:>14} "
-             f"{'delta':>14} {'change':>9}"]
+    header = (f"  {'kernel':<14} {'A ' + by:>14} {'B ' + by:>14} "
+              f"{'delta':>14} {'change':>9}")
+    if per_call:
+        header += f" {'A/call':>11} {'B/call':>11}"
+    lines = [header]
     for row in shown:
         va, vb = row[f"a_{by}"], row[f"b_{by}"]
         delta = row[f"delta_{by}"]
@@ -387,8 +440,12 @@ def format_profile_diff(rows: Sequence[Mapping[str, object]],
             a_s, b_s, d_s = (str(va), str(vb), f"{delta:+d}")
         change = row.get("change")
         change_s = "-" if change is None else f"{change:+.1%}"
-        lines.append(f"  {str(row['kernel']):<14} {a_s:>14} {b_s:>14} "
-                     f"{d_s:>14} {change_s:>9}")
+        line = (f"  {str(row['kernel']):<14} {a_s:>14} {b_s:>14} "
+                f"{d_s:>14} {change_s:>9}")
+        if per_call:
+            line += (f" {_per_call(va, row.get('a_calls', 0), by):>11}"
+                     f" {_per_call(vb, row.get('b_calls', 0), by):>11}")
+        lines.append(line)
     return "\n".join(lines)
 
 

@@ -3,12 +3,16 @@
 These are the sequential building blocks every MPC machine executes
 locally: Wagner–Fischer and banded edit distance, fitting (substring)
 alignment, LIS/LCS, the sparse Ulam-distance chain DP, and the CGKS-style
-approximate inner solver.
+approximate inner solver.  Each hot kernel dispatches through
+:mod:`repro.strings.native` (numba / NumPy-batch / pure backends) without
+changing ledgers, cell counts, or profile attribution.
 """
 
 from .approx import (InnerSolver, cgks_edit_upper_bound, geometric_offsets,
                      make_inner)
-from .banded import levenshtein_banded, levenshtein_doubling, within_threshold
+from .banded import (levenshtein_banded, levenshtein_doubling,
+                     levenshtein_doubling_batch, within_threshold,
+                     within_threshold_batch)
 from .bitparallel import myers_fitting_row, myers_last_row, myers_levenshtein
 from .edit_distance import (hamming, levenshtein, levenshtein_last_row,
                             levenshtein_script)
@@ -16,26 +20,30 @@ from .fitting import fitting_alignment, fitting_distance, fitting_last_row
 from .hirschberg import hirschberg_script
 from .lcs import lcs_length, lcs_length_duplicate_free, position_map
 from .lis import lis_indices, lis_length, longest_increasing_subsequence
+from .native import kernel_backend, numba_available, set_backend, use_backend
 from .polylog import ako_edit_upper_bound, ako_guarantee_factor, ako_window
 from .transform import EditOp, apply_script, gap_script, script_cost
 from .types import INF, StringLike, as_array
 from .ulam import (check_duplicate_free, is_duplicate_free, local_ulam,
                    local_ulam_from_matches, match_points, ulam_auto,
-                   ulam_distance, ulam_from_matches, ulam_indel)
+                   ulam_auto_batch, ulam_distance, ulam_from_matches,
+                   ulam_indel)
 
 __all__ = [
     "InnerSolver", "cgks_edit_upper_bound", "geometric_offsets", "make_inner",
     "levenshtein_banded", "levenshtein_doubling", "within_threshold",
+    "levenshtein_doubling_batch", "within_threshold_batch",
     "myers_fitting_row", "myers_last_row", "myers_levenshtein",
     "hamming", "levenshtein", "levenshtein_last_row", "levenshtein_script",
     "fitting_alignment", "fitting_distance", "fitting_last_row",
     "hirschberg_script",
     "lcs_length", "lcs_length_duplicate_free", "position_map",
     "lis_indices", "lis_length", "longest_increasing_subsequence",
+    "kernel_backend", "numba_available", "set_backend", "use_backend",
     "ako_edit_upper_bound", "ako_guarantee_factor", "ako_window",
     "EditOp", "apply_script", "gap_script", "script_cost",
     "INF", "StringLike", "as_array",
     "check_duplicate_free", "is_duplicate_free", "local_ulam",
     "local_ulam_from_matches", "match_points", "ulam_auto",
-    "ulam_distance", "ulam_from_matches", "ulam_indel",
+    "ulam_auto_batch", "ulam_distance", "ulam_from_matches", "ulam_indel",
 ]

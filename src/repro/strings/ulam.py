@@ -34,6 +34,7 @@ import numpy as np
 from ..metrics import get_registry
 from ..mpc.accounting import add_work
 from ..obs.profile import kernel_probe
+from . import native
 from .edit_distance import levenshtein
 from .lcs import lcs_length_duplicate_free, position_map
 from .types import INF, StringLike, as_array
@@ -51,7 +52,7 @@ _PY_DP_CUTOFF = 96
 __all__ = [
     "is_duplicate_free", "check_duplicate_free", "ulam_distance",
     "ulam_indel", "match_points", "ulam_from_matches", "ulam_auto",
-    "local_ulam_from_matches", "local_ulam",
+    "ulam_auto_batch", "local_ulam_from_matches", "local_ulam",
 ]
 
 
@@ -156,42 +157,17 @@ def ulam_from_matches(i_pts: np.ndarray, p_pts: np.ndarray, m: int, n: int,
 
 def _ulam_chain_dp(i_pts: np.ndarray, p_pts: np.ndarray, m: int, n: int,
                    c: int) -> int:
-    """The metered body of :func:`ulam_from_matches` (probe-bracketed)."""
-    best = max(m, n)  # empty chain: substitute everything
-    if c == 0:
-        return best
-    if c <= _PY_DP_CUTOFF:
-        # Small point sets: plain lists beat NumPy's per-call overhead.
-        I, P = i_pts.tolist(), p_pts.tolist()
-        D = [0] * c
-        out = best
-        for j in range(c):
-            ij, pj = I[j], P[j]
-            v = ij if ij > pj else pj
-            for k in range(j):
-                pk = P[k]
-                if pk < pj:
-                    di = ij - I[k] - 1
-                    dp = pj - pk - 1
-                    cand = D[k] + (di if di > dp else dp)
-                    if cand < v:
-                        v = cand
-            D[j] = v
-            tail = max(m - 1 - ij, n - 1 - pj)
-            if v + tail < out:
-                out = v + tail
-        return out
-    D = np.empty(c, dtype=np.int64)
-    for j in range(c):
-        D[j] = max(i_pts[j], p_pts[j])
-        if j > 0:
-            di = i_pts[j] - i_pts[:j] - 1
-            dp = p_pts[j] - p_pts[:j] - 1
-            # i is strictly increasing already; mask non-increasing p.
-            cand = D[:j] + np.maximum(di, np.where(dp < 0, INF, dp))
-            D[j] = min(D[j], int(cand.min()))
-    tails = np.maximum(m - 1 - i_pts, n - 1 - p_pts)
-    return int(min(best, int((D + tails).min())))
+    """The metered body of :func:`ulam_from_matches` (probe-bracketed).
+
+    Dispatch choke point: the compiled scalar kernel when the numba
+    backend is active, otherwise the relocated list/NumPy loop in
+    :func:`repro.strings.native.np_chain_dp`.  Metering lives in the
+    callers, so backends only change speed.
+    """
+    fn = native.native_kernel("chain_dp")
+    if fn is not None:
+        return int(fn(i_pts, p_pts, m, n))
+    return native.np_chain_dp(i_pts, p_pts, m, n, c, _PY_DP_CUTOFF)
 
 
 def ulam_auto(i_pts: np.ndarray, p_pts: np.ndarray, m: int, n: int) -> int:
@@ -217,6 +193,48 @@ def ulam_auto(i_pts: np.ndarray, p_pts: np.ndarray, m: int, n: int) -> int:
     indel = m + n - 2 * len(tails)
     band = max(indel, abs(m - n), 1)
     return ulam_from_matches(i_pts, p_pts, m, n, band=band)
+
+
+def ulam_auto_batch(jobs: List[Tuple[np.ndarray, np.ndarray, int, int]]
+                    ) -> List[int]:
+    """Batched :func:`ulam_auto` over many ``(i_pts, p_pts, m, n)`` jobs.
+
+    The per-machine batching path: candidate machines issue thousands of
+    tiny sparse-DP calls, so the band/LIS prologue runs per job (cheap,
+    and it determines each job's band) while all chain DPs execute as
+    one native batch call.  Work, ``strings.dp_cells`` and profile
+    call/cell counts advance exactly as ``[ulam_auto(*job) for job in
+    jobs]`` would; only wall-clock differs.
+    """
+    if native.kernel_backend() == "pure" or len(jobs) <= 1:
+        return [ulam_auto(i, p, m, n) for i, p, m, n in jobs]
+    from bisect import bisect_left
+    filtered: List[Tuple[np.ndarray, np.ndarray, int, int]] = []
+    total_cells = 0
+    for i_pts, p_pts, m, n in jobs:
+        c = len(i_pts)
+        tails: list = []
+        for v in p_pts.tolist():
+            pos = bisect_left(tails, v)
+            if pos == len(tails):
+                tails.append(v)
+            else:
+                tails[pos] = v
+        add_work(c)
+        band = max(m + n - 2 * len(tails), abs(m - n), 1)
+        keep = np.abs(i_pts - p_pts) <= band
+        i_f, p_f = i_pts[keep], p_pts[keep]
+        cells = len(i_f) * len(i_f) + 1
+        add_work(cells)
+        _M_CELLS_SPARSE.inc(cells)
+        _M_CALLS_SPARSE.inc()
+        total_cells += cells
+        filtered.append((i_f, p_f, m, n))
+    t0 = _PROBE_SPARSE.begin()
+    try:
+        return [int(v) for v in native.chain_dp_batch(filtered)]
+    finally:
+        _PROBE_SPARSE.end_batch(t0, len(jobs), total_cells)
 
 
 def local_ulam_from_matches(i_pts: np.ndarray, p_pts: np.ndarray,

@@ -28,7 +28,8 @@ from ..metrics import get_registry
 from ..mpc.accounting import add_work
 from ..mpc.distcache import distance_cache
 from ..mpc.shm import SharedSlice
-from ..strings.ulam import local_ulam_from_matches, ulam_auto
+from ..strings.native import kernel_backend
+from ..strings.ulam import local_ulam_from_matches, ulam_auto, ulam_auto_batch
 from .config import UlamConfig
 
 _M_WINDOWS = get_registry().counter("ulam.candidate_windows")
@@ -111,6 +112,70 @@ def _grid(lo: float, hi: float, gap: int, n: int) -> List[int]:
     return list(range(first, hi + 1, gap))
 
 
+def _window_distances(windows: List[Tuple[int, int, np.ndarray, np.ndarray]],
+                      B: int, cache) -> List[int]:
+    """Sparse Ulam distances for candidate windows, batched when native.
+
+    Under the ``pure`` backend each window runs the scalar
+    :func:`ulam_auto` (with per-call cache lookups) exactly as before;
+    native backends collect all cache misses and evaluate them in one
+    :func:`ulam_auto_batch` call.  Intra-batch duplicate *content* keys
+    are deduplicated before evaluation: the first occurrence counts as
+    the miss, repeats are recorded via :meth:`DistanceCache.hit`, so
+    hit/miss counters and kernel work stay byte-identical to the scalar
+    path.  (Only the LRU *insertion order* can differ — batch results
+    are stored after the batch — which matters only when one machine's
+    windows approach the cache capacity.)
+    """
+    if kernel_backend() == "pure" or len(windows) <= 1:
+        out = []
+        for sp, ep, i_sel, p_rel in windows:
+            if cache is None:
+                d = ulam_auto(i_sel, p_rel, B, ep - sp)
+            else:
+                key = ("ulam", i_sel.tobytes(), p_rel.tobytes(), B, ep - sp)
+                d = cache.lookup(key)
+                if d is None:
+                    d = ulam_auto(i_sel, p_rel, B, ep - sp)
+                    cache.store(key, int(d))
+            out.append(int(d))
+        return out
+    dists = [0] * len(windows)
+    jobs: List[Tuple[np.ndarray, np.ndarray, int, int]] = []
+    targets: List[List[int]] = []  # window indices each job resolves
+    job_keys: List[object] = []
+    if cache is None:
+        for idx, (sp, ep, i_sel, p_rel) in enumerate(windows):
+            jobs.append((i_sel, p_rel, B, ep - sp))
+            targets.append([idx])
+            job_keys.append(None)
+    else:
+        pending: Dict[object, List[int]] = {}
+        for idx, (sp, ep, i_sel, p_rel) in enumerate(windows):
+            key = ("ulam", i_sel.tobytes(), p_rel.tobytes(), B, ep - sp)
+            slot = pending.get(key)
+            if slot is not None:
+                cache.hit()          # would have hit the per-call cache
+                slot.append(idx)
+                continue
+            d = cache.lookup(key)
+            if d is not None:
+                dists[idx] = int(d)
+                continue
+            pending[key] = tgt = [idx]
+            jobs.append((i_sel, p_rel, B, ep - sp))
+            targets.append(tgt)
+            job_keys.append(key)
+    if jobs:
+        vals = ulam_auto_batch(jobs)
+        for val, tgt, key in zip(vals, targets, job_keys):
+            for idx in tgt:
+                dists[idx] = int(val)
+            if key is not None:
+                cache.store(key, int(val))
+    return dists
+
+
 def run_block_machine(payload: BlockPayload) -> List[CandidateTuple]:
     """Execute Algorithm 1 for one block; returns its candidate tuples."""
     lo, hi = payload["lo"], payload["hi"]
@@ -188,22 +253,16 @@ def run_block_machine(payload: BlockPayload) -> List[CandidateTuple]:
     order = np.argsort(p_pts, kind="stable")
     p_sorted = p_pts[order]
     cache = distance_cache()
-    tuples: List[CandidateTuple] = []
+    windows: List[Tuple[int, int, np.ndarray, np.ndarray]] = []
     for sp, ep in wanted:
         lo_idx = int(np.searchsorted(p_sorted, sp, side="left"))
         hi_idx = int(np.searchsorted(p_sorted, ep, side="left"))
         sel = np.sort(order[lo_idx:hi_idx])  # back to i-sorted order
-        i_sel = i_pts[sel]
-        p_rel = p_pts[sel] - sp
-        if cache is None:
-            d = ulam_auto(i_sel, p_rel, B, ep - sp)
-        else:
-            key = ("ulam", i_sel.tobytes(), p_rel.tobytes(), B, ep - sp)
-            d = cache.lookup(key)
-            if d is None:
-                d = ulam_auto(i_sel, p_rel, B, ep - sp)
-                cache.store(key, int(d))
-        tuples.append((lo, hi, int(sp), int(ep), int(d)))
+        windows.append((sp, ep, i_pts[sel], p_pts[sel] - sp))
+    dists = _window_distances(windows, B, cache)
+    tuples: List[CandidateTuple] = [
+        (lo, hi, int(sp), int(ep), int(d))
+        for (sp, ep, _, _), d in zip(windows, dists)]
 
     top_k = payload["top_k"]
     if top_k is not None and len(tuples) > top_k:

@@ -251,10 +251,18 @@ class TestRegressionAttribution:
                 real(*args, **kwargs)
                 return real(*args, **kwargs)
 
-            # Double every candidate-evaluation call (regressing the
-            # gated total_work) and slow the sparse kernel so the
-            # wall-clock delta is unmistakably its own.
+            real_batch = cand.ulam_auto_batch
+
+            def doubled_batch(jobs):
+                real_batch(jobs)
+                return real_batch(jobs)
+
+            # Double every candidate evaluation — scalar and batched
+            # dispatch alike (regressing the gated total_work) — and
+            # slow the sparse kernel so the wall-clock delta is
+            # unmistakably its own.
             monkeypatch.setattr(cand, "ulam_auto", doubled)
+            monkeypatch.setattr(cand, "ulam_auto_batch", doubled_batch)
             with inject_slowdown("ulam_sparse", 2e-5):
                 _, rec_b = _ulam_record()
         return rec_a, rec_b

@@ -15,11 +15,12 @@ Abstract work and word counts are deterministic for a fixed seed, so
 this is a *logic* gate, not a wall-clock benchmark — it runs in
 seconds and is immune to CI machine noise.
 
-When a comparison regresses and both records carry kernel profiles
-(``summary.profile``), the gate also prints the top kernels by
-wall-clock delta — the failure names *which kernel* is responsible,
-not just which metric moved (see ``repro profdiff`` for the manual
-version of the same attribution).
+When both records carry kernel profiles (``summary.profile``), every
+comparison also prints the top kernels by wall-clock delta — a failure
+names *which kernel* regressed, and an improvement credits the
+accelerated kernel (e.g. a native backend landing), not just which
+metric moved (see ``repro profdiff`` for the manual version of the
+same attribution).
 
 Usage::
 
@@ -51,9 +52,12 @@ from repro.registry import (REGRESSION_TOLERANCE, compare_records,  # noqa: E402
 
 
 def kernel_attribution(base: dict, fresh: dict, top: int = 3) -> str:
-    """Name the kernels responsible for a regression: top wall-clock
-    deltas between the two records' kernel profiles.  Best-effort —
-    returns ``""`` when either record predates the profiler."""
+    """Name the kernels responsible for a change: top wall-clock deltas
+    between the two records' kernel profiles.  Best-effort — returns
+    ``""`` when either record predates the profiler.  Printed for
+    regressions *and* improvements: a faster run should credit the
+    accelerated kernel (e.g. a native backend landing) just as a slower
+    one blames the responsible kernel."""
     a = totals_from_record(base)
     b = totals_from_record(fresh)
     if not a or not b:
@@ -61,8 +65,10 @@ def kernel_attribution(base: dict, fresh: dict, top: int = 3) -> str:
     rows = diff_profiles(a, b, by="seconds")
     if not rows:
         return ""
+    direction = ("slower" if rows[0]["delta_seconds"] > 0 else "faster")
     return (f"  responsible kernels (top {min(top, len(rows))} "
-            f"wall-clock deltas, hottest first):\n"
+            f"wall-clock deltas; hottest: {rows[0]['kernel']}, "
+            f"{direction}):\n"
             + format_profile_diff(rows, by="seconds", top=top))
 
 
@@ -159,10 +165,9 @@ def main(argv=None) -> int:
         failed = failed or regressed
         print(f"{label}: " + ("REGRESSED" if regressed else "ok"))
         print(format_comparison(comparison))
-        if regressed:
-            attribution = kernel_attribution(base, fresh)
-            if attribution:
-                print(attribution)
+        attribution = kernel_attribution(base, fresh)
+        if attribution:
+            print(attribution)
 
     if not kept:
         print("no configuration was compared", file=sys.stderr)
